@@ -1,0 +1,67 @@
+"""Ablation: the chunk-size trade-off of Section 4.
+
+The paper picks 2 MB chunks to balance CMT storage against internal
+fragmentation.  This ablation sweeps chunk sizes and reports, for each:
+the CMT two-level storage, the worst-case fragmentation bound (one
+partially-filled chunk per access pattern, 256 patterns), and whether
+the shuffled window still covers the stride range of interest.
+"""
+
+from __future__ import annotations
+
+from repro.core import ChunkGeometry, ChunkMappingTable
+from repro.system.reporting import format_table
+
+GiB = 1024**3
+MiB = 1024**2
+KiB = 1024
+PATTERNS = 256  # supported concurrent mappings
+LARGEST_STRIDE_BYTES = 32 * 64 * 32  # stride-32 across 32 channels
+
+
+def run_ablation():
+    rows = []
+    for chunk_bytes in (256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 8 * MiB):
+        geometry = ChunkGeometry(total_bytes=8 * GiB, chunk_bytes=chunk_bytes)
+        cmt = ChunkMappingTable(
+            num_chunks=geometry.num_chunks,
+            window_bits=geometry.window_bits,
+            max_mappings=PATTERNS,
+        )
+        waste_fraction = min(PATTERNS, geometry.num_chunks) / geometry.num_chunks
+        rows.append(
+            {
+                "chunk": f"{chunk_bytes // KiB}KiB"
+                if chunk_bytes < MiB
+                else f"{chunk_bytes // MiB}MiB",
+                "chunks": geometry.num_chunks,
+                "window_bits": geometry.window_bits,
+                "cmt_kb": cmt.storage_bits_two_level() / 8 / 1000,
+                "frag_bound_pct": 100 * waste_fraction,
+                "covers_strides": geometry.chunk_bytes >= LARGEST_STRIDE_BYTES,
+            }
+        )
+    return rows
+
+
+def test_ablation_chunk_size(benchmark, record):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record(
+        "ablation_chunk_size",
+        format_table(
+            rows,
+            title="Ablation: chunk size vs CMT storage vs fragmentation "
+            "(Section 4 picks 2MiB)",
+        ),
+    )
+    table = {row["chunk"]: row for row in rows}
+    # The paper's operating point: 4096 chunks, 6.25% worst-case waste.
+    assert table["2MiB"]["chunks"] == 4096
+    assert table["2MiB"]["frag_bound_pct"] == 6.25
+    assert table["2MiB"]["covers_strides"]
+    # Smaller chunks inflate the CMT; larger chunks inflate fragmentation.
+    assert table["256KiB"]["cmt_kb"] > table["2MiB"]["cmt_kb"]
+    assert table["8MiB"]["frag_bound_pct"] > table["2MiB"]["frag_bound_pct"]
+    # All candidate sizes keep fragmentation monotone in chunk size.
+    fracs = [row["frag_bound_pct"] for row in rows]
+    assert fracs == sorted(fracs)

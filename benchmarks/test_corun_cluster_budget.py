@@ -1,0 +1,74 @@
+"""Co-run ablation: the cluster-budget rationale behind Fig. 12's
+4-cluster configurations.
+
+Section 7.4: "Using 4 clusters per application represents the case in
+which several variables may need to share the same address mapping when
+there is a large number of co-run applications but only a limited
+number of chunk table entries".  We co-run four applications on one
+shared CMT and sweep the per-application cluster budget, verifying that
+(a) the 256-mapping CMT is never exceeded, (b) a tight budget already
+recovers most of the benefit.
+"""
+
+from __future__ import annotations
+
+from repro.system.corun import CorunMachine
+from repro.system.reporting import format_table
+from repro.workloads import parsec_workload, spec2006_workload
+
+from conftest import is_quick
+
+
+def applications():
+    names = ["libquantum", "omnetpp"] if is_quick() else [
+        "libquantum",
+        "omnetpp",
+        "h264ref",
+    ]
+    apps = [spec2006_workload(name) for name in names]
+    if not is_quick():
+        apps.append(parsec_workload("vips"))
+    return apps
+
+
+def run_corun_budget():
+    apps = applications()
+    baseline = CorunMachine(use_sdam=False).run(apps)
+    rows = [
+        {
+            "config": "BS+DM (shared)",
+            "clusters_per_app": 0,
+            "live_mappings": 1,
+            "speedup": 1.0,
+        }
+    ]
+    for budget in (1, 2, 4, 8):
+        result = CorunMachine(clusters_per_app=budget).run(apps)
+        rows.append(
+            {
+                "config": f"SDAM ML({budget})",
+                "clusters_per_app": budget,
+                "live_mappings": result.live_mappings,
+                "speedup": baseline.time_ns / result.time_ns,
+            }
+        )
+    return rows
+
+
+def test_corun_cluster_budget(benchmark, record):
+    rows = benchmark.pedantic(run_corun_budget, rounds=1, iterations=1)
+    record(
+        "corun_cluster_budget",
+        format_table(
+            rows,
+            title="Co-run ablation: shared-CMT cluster budget per app",
+        ),
+    )
+    by_budget = {row["clusters_per_app"]: row for row in rows}
+    # The shared CMT never overflows its 256 entries.
+    assert all(row["live_mappings"] <= 256 for row in rows)
+    # SDAM helps the multiprogrammed mix.
+    assert by_budget[4]["speedup"] > 1.02
+    # A tight budget already captures most of the benefit (the paper's
+    # argument that 4 clusters/app is a workable co-run operating point).
+    assert by_budget[1]["speedup"] > 0.8 * by_budget[8]["speedup"]

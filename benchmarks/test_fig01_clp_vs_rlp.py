@@ -1,0 +1,91 @@
+"""Figure 1: HBM throughput vs channel count and row-buffer hit rate.
+
+The paper's point: throughput grows *linearly* with the number of
+channels exploited (CLP) but only *sub-linearly* with row-buffer
+locality (RLP), which is why address mapping should spend its best bits
+on channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hbm import WindowModel, hbm2_config
+from repro.system.reporting import format_table
+
+CFG = hbm2_config()
+LAYOUT = CFG.layout()
+ACCESSES = 16_384
+
+
+def channel_sweep_trace(channels_used: int) -> np.ndarray:
+    """Streaming trace confined to the first ``channels_used`` channels."""
+    index = np.arange(ACCESSES, dtype=np.uint64)
+    channel = index % np.uint64(channels_used)
+    column = (index // np.uint64(channels_used)) % np.uint64(4)
+    row = index // np.uint64(channels_used * 4)
+    return np.asarray(
+        LAYOUT.encode(
+            channel=channel,
+            column=column,
+            bank=(row % np.uint64(8)),
+            row=row // np.uint64(8),
+        ),
+        dtype=np.uint64,
+    )
+
+
+def hit_rate_trace(columns_per_row: int) -> np.ndarray:
+    """Single-bank trace touching ``columns_per_row`` columns per row."""
+    index = np.arange(ACCESSES // 4, dtype=np.uint64)
+    column = index % np.uint64(columns_per_row)
+    row = index // np.uint64(columns_per_row)
+    return np.asarray(
+        LAYOUT.encode(channel=np.uint64(0), column=column, row=row),
+        dtype=np.uint64,
+    )
+
+
+def run_fig01():
+    model = WindowModel(CFG, max_inflight=256)
+    channel_rows = []
+    for channels in (1, 2, 4, 8, 16, 32):
+        stats = model.simulate(channel_sweep_trace(channels))
+        channel_rows.append(
+            {
+                "channels": channels,
+                "throughput_gbps": stats.throughput_gbps,
+                "hit_rate": stats.row_hit_rate,
+            }
+        )
+    rlp_rows = []
+    for columns in (1, 2, 4):
+        stats = model.simulate(hit_rate_trace(columns))
+        rlp_rows.append(
+            {
+                "columns_per_row": columns,
+                "throughput_gbps": stats.throughput_gbps,
+                "hit_rate": stats.row_hit_rate,
+            }
+        )
+    return channel_rows, rlp_rows
+
+
+def test_fig01_clp_scales_linearly_rlp_sublinearly(benchmark, record):
+    channel_rows, rlp_rows = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    text = format_table(
+        channel_rows, title="Fig 1(a): throughput vs channels used"
+    )
+    text += "\n\n" + format_table(
+        rlp_rows, title="Fig 1(b): throughput vs columns used per row (1 channel)"
+    )
+    record("fig01_clp_vs_rlp", text)
+
+    # CLP scaling is (near-)linear.
+    t = {row["channels"]: row["throughput_gbps"] for row in channel_rows}
+    assert t[32] / t[1] > 16
+    assert t[32] / t[16] > 1.5
+    # RLP scaling is positive but clearly sub-linear.
+    r = {row["columns_per_row"]: row["throughput_gbps"] for row in rlp_rows}
+    assert r[4] > r[1]
+    assert r[4] / r[1] < 4

@@ -1,0 +1,74 @@
+"""Figure 3: (a) throughput vs stride under the default mapping;
+(b) bit-flip-rate distribution per stride.
+
+The paper's motivating experiment: with the boot-time mapping the
+throughput collapses ~20x as the stride grows from 1 to 16..32 cache
+lines, and the flip-rate peak (the bit that should select channels)
+marches up the address with the stride.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hbm import WindowModel, hbm2_config
+from repro.profiling.bfrv import bit_flip_rate_vector
+from repro.system.reporting import format_table
+
+CFG = hbm2_config()
+ACCESSES = 16_384
+STRIDES = (1, 2, 4, 8, 16, 32)
+
+
+def stride_trace(stride_lines: int) -> np.ndarray:
+    pa = np.arange(ACCESSES, dtype=np.uint64) * np.uint64(stride_lines * 64)
+    return pa % np.uint64(CFG.total_bytes)
+
+
+def run_fig03():
+    model = WindowModel(CFG, max_inflight=256)
+    throughput_rows = []
+    flip_rows = []
+    for stride in STRIDES:
+        trace = stride_trace(stride)
+        stats = model.simulate(trace)
+        throughput_rows.append(
+            {
+                "stride": stride,
+                "throughput_gbps": stats.throughput_gbps,
+                "channels": stats.channels_touched,
+            }
+        )
+        rates = bit_flip_rate_vector(trace, num_bits=10, bit_offset=6)
+        row: dict[str, object] = {"stride": stride}
+        for bit in range(10):
+            row[f"bit{6 + bit}"] = rates[bit]
+        flip_rows.append(row)
+    return throughput_rows, flip_rows
+
+
+def test_fig03_stride_collapse_and_flip_peaks(benchmark, record):
+    throughput_rows, flip_rows = benchmark.pedantic(
+        run_fig03, rounds=1, iterations=1
+    )
+    text = format_table(
+        throughput_rows,
+        title="Fig 3(a): throughput vs stride, default mapping",
+        float_format="{:.1f}",
+    )
+    text += "\n\n" + format_table(
+        flip_rows, title="Fig 3(b): bit flip rate per address bit"
+    )
+    record("fig03_stride_sweep", text)
+
+    t = {row["stride"]: row["throughput_gbps"] for row in throughput_rows}
+    # Paper: "throughput drops sharply by 20x" toward the worst stride.
+    assert t[1] / t[32] > 15
+    # Throughput decays monotonically with stride.
+    values = [t[s] for s in STRIDES]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    # Flip-rate peak moves one bit per stride doubling.
+    for row in flip_rows:
+        stride = row["stride"]
+        peak_bit = max(range(6, 16), key=lambda b: row[f"bit{b}"])
+        assert peak_bit == 6 + int(np.log2(stride))

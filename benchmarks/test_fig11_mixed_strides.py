@@ -1,0 +1,125 @@
+"""Figure 11: (a) four-thread data copy with 1..4 distinct strides,
+throughput normalised to peak streaming; (b) CLP-utilisation
+distribution over 64 strides for BS+BSM, BS+HM and SDM+BSM.
+
+The headline shapes: with one access pattern BSM and SDM tie at the
+top; as patterns mix, the global BSM collapses, HM stays flat-but-
+mediocre, and SDM holds; over the 64-stride sweep, SDM dominates the
+whole distribution while HM shows a weak tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    ChunkGeometry,
+    GlobalMappingTranslator,
+    SDAMController,
+    default_hash_mapping,
+    identity_mapping,
+    select_window_permutation,
+)
+from repro.core.bitshuffle import select_global_mapping
+from repro.hbm import WindowModel, hbm2_config
+from repro.profiling.bfrv import bit_flip_rate_vector, window_flip_rates
+from repro.system.reporting import format_series, format_table
+
+from conftest import is_quick
+
+CFG = hbm2_config()
+GEO = ChunkGeometry()
+LAYOUT = CFG.layout()
+PER_STREAM = 8192
+MODEL = WindowModel(CFG, max_inflight=256)
+
+
+def stride_pa(stride: int, slot: int, chunks_per_slot: int = 4) -> np.ndarray:
+    base = np.uint64(slot * chunks_per_slot * GEO.chunk_bytes)
+    span = np.uint64(chunks_per_slot * GEO.chunk_bytes)
+    offs = (np.arange(PER_STREAM, dtype=np.uint64) * np.uint64(stride * 64)) % span
+    return base + offs
+
+
+def interleave(parts: list[np.ndarray]) -> np.ndarray:
+    return np.stack(parts, axis=1).reshape(-1)
+
+
+def translators_for(parts: list[np.ndarray]):
+    """Build the three systems' translators for a given mix."""
+    pa = interleave(parts)
+    rates = bit_flip_rate_vector(pa, LAYOUT.width)
+    bsm = GlobalMappingTranslator(select_global_mapping(rates, LAYOUT))
+    hm = GlobalMappingTranslator(default_hash_mapping(LAYOUT))
+    sdm = SDAMController(GEO)
+    for slot, part in enumerate(parts):
+        perm = select_window_permutation(
+            window_flip_rates(part, GEO.window_slice()), LAYOUT, GEO
+        )
+        mapping_id = sdm.register_mapping(perm)
+        for chunk in range(slot * 4, slot * 4 + 4):
+            sdm.assign_chunk(chunk, mapping_id)
+    return pa, {"BS+BSM": bsm, "BS+HM": hm, "SDM+BSM": sdm}
+
+
+def run_fig11a():
+    peak = CFG.peak_bandwidth_gbps
+    mixes = ((1,), (1, 16), (1, 8, 16), (1, 4, 8, 16))
+    rows = []
+    for mix in mixes:
+        parts = [stride_pa(s, i) for i, s in enumerate(mix)]
+        pa, translators = translators_for(parts)
+        base = MODEL.simulate(
+            GlobalMappingTranslator(identity_mapping(LAYOUT.width)).translate(pa)
+        )
+        row = {"num_strides": len(mix), "BS+DM": base.throughput_gbps / peak}
+        for name, translator in translators.items():
+            stats = MODEL.simulate(translator.translate(pa))
+            row[name] = stats.throughput_gbps / peak
+        rows.append(row)
+    return rows
+
+
+def run_fig11b():
+    strides = range(1, 17 if is_quick() else 65)
+    utilisation: dict[str, list[float]] = {"BS+BSM": [], "BS+HM": [], "SDM+BSM": []}
+    for stride in strides:
+        parts = [stride_pa(stride, 0)]
+        pa, translators = translators_for(parts)
+        for name, translator in translators.items():
+            stats = MODEL.simulate(translator.translate(pa))
+            utilisation[name].append(stats.clp_utilization)
+    return {name: np.sort(values) for name, values in utilisation.items()}
+
+
+def test_fig11_mixed_strides_and_clp_distribution(benchmark, record):
+    rows = benchmark.pedantic(run_fig11a, rounds=1, iterations=1)
+    distribution = run_fig11b()
+    text = format_table(
+        rows, title="Fig 11(a): normalised throughput vs number of strides"
+    )
+    summary = {
+        name: f"min {values.min():.2f} / median {np.median(values):.2f} /"
+        f" mean {values.mean():.2f}"
+        for name, values in distribution.items()
+    }
+    text += "\n\n" + format_series(
+        summary,
+        "system",
+        "CLP utilisation (sorted distribution)",
+        float_format="{}",
+        title="Fig 11(b): CLP utilisation across stride sweep",
+    )
+    record("fig11_mixed_strides", text)
+
+    # (a) single pattern: BSM ties SDM near peak.
+    first = rows[0]
+    assert first["BS+BSM"] > 0.9 and first["SDM+BSM"] > 0.9
+    # (a) mixed patterns: SDM consistently on top; gap grows with mix.
+    last = rows[-1]
+    assert last["SDM+BSM"] >= last["BS+BSM"]
+    assert last["SDM+BSM"] >= last["BS+HM"]
+    assert last["SDM+BSM"] > 0.9
+    # (b) SDM dominates the distribution; HM has a weak tail.
+    assert distribution["SDM+BSM"].mean() >= distribution["BS+HM"].mean()
+    assert distribution["SDM+BSM"].min() >= distribution["BS+HM"].min()

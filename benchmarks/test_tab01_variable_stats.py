@@ -1,0 +1,64 @@
+"""Table 1: variable-level statistics of SPEC2006 and PARSEC.
+
+Two views are produced: the *nominal* statistics each application model
+was calibrated to (these must equal the paper's Table 1 by
+construction), and the statistics the profiler actually recovers from a
+run (major count via the 80 % rule on the external trace).
+"""
+
+from __future__ import annotations
+
+from repro.system import Machine, system_by_key
+from repro.system.reporting import format_table
+from repro.workloads import parsec_suite, spec2006_suite
+from repro.workloads.models import SCALE
+
+from conftest import is_quick
+
+
+def run_tab01():
+    workloads = spec2006_suite() + parsec_suite()
+    if is_quick():
+        workloads = workloads[:4]
+    machine = Machine(system_by_key("bs_dm"))
+    nominal_rows = []
+    profiled_rows = []
+    for workload in workloads:
+        nominal_rows.append(workload.table1_nominal())
+        profile = machine.profile(workload)
+        row = profile.table1_row()
+        # Undo the footprint scaling for an apples-to-apples size view.
+        row["avg_major_size_mb"] /= SCALE
+        row["min_major_size_mb"] /= SCALE
+        profiled_rows.append(row)
+    return nominal_rows, profiled_rows
+
+
+def test_tab01_variable_statistics(benchmark, record):
+    nominal_rows, profiled_rows = benchmark.pedantic(
+        run_tab01, rounds=1, iterations=1
+    )
+    text = format_table(
+        nominal_rows,
+        title="Table 1 (nominal calibration = paper values)",
+        float_format="{:.1f}",
+    )
+    text += "\n\n" + format_table(
+        profiled_rows,
+        title="Table 1 (recovered by profiling a run; sizes un-scaled,"
+        " clamped at allocation floor/cap)",
+        float_format="{:.1f}",
+    )
+    record("tab01_variable_stats", text)
+
+    by_name = {row["benchmark"]: row for row in nominal_rows}
+    if "mcf" in by_name:
+        assert by_name["mcf"]["num_major_variables"] == 3
+        assert by_name["mcf"]["avg_major_size_mb"] == 1215
+    if "omnetpp" in by_name:
+        assert by_name["omnetpp"]["num_variables"] == 9400
+        assert by_name["omnetpp"]["num_major_variables"] == 65
+    # The profiler finds a non-trivial major set for every application.
+    for row in profiled_rows:
+        assert row["num_major_variables"] >= 1
+        assert row["num_variables"] >= row["num_major_variables"]

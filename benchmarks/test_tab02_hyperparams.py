@@ -1,0 +1,50 @@
+"""Table 2: training hyper-parameters of the embedding LSTM.
+
+Checks the paper-scale configuration exposed by the library and reports
+both it and the laptop-scale defaults used in the other benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.ml import AutoencoderConfig, paper_hyperparameters
+from repro.system.reporting import format_table
+
+
+def run_tab02():
+    paper = paper_hyperparameters()
+    default = AutoencoderConfig()
+    rows = []
+    for field in (
+        "sequence_length",
+        "hidden_dim",
+        "delta_embed_dim",
+        "vid_embed_dim",
+        "learning_rate",
+        "cluster_weight",
+        "pretrain_steps",
+        "joint_steps",
+    ):
+        rows.append(
+            {
+                "hyperparameter": field,
+                "paper": getattr(paper, field),
+                "default": getattr(default, field),
+            }
+        )
+    return rows, asdict(paper)
+
+
+def test_tab02_hyperparameters(benchmark, record):
+    rows, paper = benchmark.pedantic(run_tab02, rounds=1, iterations=1)
+    record(
+        "tab02_hyperparams",
+        format_table(rows, title="Table 2: DL hyper-parameters", float_format="{}"),
+    )
+    # Table 2 literal values.
+    assert paper["sequence_length"] == 32
+    assert paper["learning_rate"] == 0.001
+    assert paper["cluster_weight"] == 0.01  # lambda
+    assert paper["hidden_dim"] == 256  # "256x2 LSTM" hidden width
+    assert paper["pretrain_steps"] + paper["joint_steps"] == 500_000

@@ -1,0 +1,86 @@
+"""Programmer-directed SDAM: hand-picked mappings, no profiling.
+
+Section 6.2's first paragraph: "for programs with simple repetitive
+data access such as element size and stride, programmers can identify
+the access pattern and select the address mapping directly".  This
+example drives the low-level API end to end:
+
+* ``add_addr_map`` registers a hand-built AMU window permutation;
+* ``malloc(size, mapping_id)`` places a buffer in matching chunks;
+* the kernel programs the CMT when chunks are acquired;
+* the AMU/CMT models report their hardware cost (Table 3);
+* guard rows demonstrate the row-hammer mitigation sketched in Sec. 4.
+
+Run:  python examples/custom_mapping.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ChunkGeometry,
+    SDAMController,
+    amu_area_report,
+    select_window_permutation,
+)
+from repro.hbm import WindowModel, hbm2_config
+from repro.mem import Kernel, MappingAwareAllocator
+from repro.profiling.bfrv import window_flip_rates
+
+
+def main() -> None:
+    geometry = ChunkGeometry()
+    hbm = hbm2_config()
+    controller = SDAMController(geometry)
+    kernel = Kernel(geometry, sdam=controller)
+    space = kernel.spawn()
+    malloc = MappingAwareAllocator(kernel, space)
+
+    # The programmer knows this matrix is traversed column-wise with a
+    # stride of 16 cache lines, so address bits 10..14 should become
+    # the channel selects.  Derive the permutation from the known
+    # stride (no profiling needed).
+    stride_lines = 16
+    sample = np.arange(4096, dtype=np.uint64) * np.uint64(stride_lines * 64)
+    rates = window_flip_rates(
+        sample % np.uint64(geometry.chunk_bytes), geometry.window_slice()
+    )
+    perm = select_window_permutation(rates, hbm.layout(), geometry)
+    mapping_id = malloc.add_addr_map(perm)
+    print(f"registered mapping {mapping_id}: window perm {perm.tolist()}")
+
+    column_matrix = malloc.malloc(8 << 20, mapping_id=mapping_id, tag="matrix")
+    row_buffer = malloc.malloc(8 << 20, mapping_id=0, tag="rows")
+
+    model = WindowModel(hbm, max_inflight=256)
+    for name, base, mid in (
+        ("matrix (custom mapping)", column_matrix, mapping_id),
+        ("rows (default mapping)", row_buffer, 0),
+    ):
+        offsets = (
+            np.arange(16384, dtype=np.uint64) * np.uint64(stride_lines * 64)
+        ) % np.uint64(8 << 20)
+        ha = kernel.translate_to_hardware(space, np.uint64(base) + offsets)
+        stats = model.simulate(ha)
+        print(f"  stride-16 over {name}: {stats.summary()}")
+
+    # Hardware cost of what we just used (Table 3's models).
+    area = amu_area_report()
+    cmt = controller.cmt
+    print(
+        f"\nhardware: AMU {area['switches_per_amu']} switches "
+        f"({100 * area['logic_fraction']:.2f}% of a VU37P), "
+        f"CMT {cmt.storage_bits_two_level() / 8 / 1024:.1f} KiB SRAM, "
+        f"{cmt.driver_writes} driver writes so far"
+    )
+
+    # Row-hammer guard rows (Section 4's security discussion): reserve
+    # the edge rows of a sensitive chunk.
+    guards = geometry.guard_line_offsets(rows_per_guard=2, row_bytes=256)
+    print(
+        f"guard rows for a sensitive chunk: {guards.size} rows reserved "
+        f"at offsets {guards[:2].tolist()} ... {guards[-2:].tolist()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""SDAM: Software-Defined Address Mapping for 3D memory.
+
+A full-stack reproduction of Zhang, Swift and Li, "Software-Defined
+Address Mapping: A Case on 3D Memory" (ASPLOS 2022): the AMU/CMT
+hardware models, the chunk-aware OS memory allocators, the access-
+pattern profiler, the K-Means / DL-assisted mapping selection, and a
+trace-driven HBM simulator to evaluate it all on.
+
+The curated convenience surface lives in :mod:`repro.api`; subsystem
+packages (``repro.core``, ``repro.hbm``, ``repro.mem``, ``repro.cpu``,
+``repro.profiling``, ``repro.ml``, ``repro.workloads``,
+``repro.system``) expose the full interfaces.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,158 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Small demos and sanity checks that exercise the library end to end
+without writing any code:
+
+* ``demo``    — the quickstart comparison on the mixed-stride copy;
+* ``stride``  — the Fig. 3 stride sweep under the default mapping;
+* ``hw``      — the AMU/CMT hardware-overhead report (Table 3);
+* ``audit``   — build an SDAM controller, register mappings, verify
+  the Section 4 correctness properties;
+* ``suite``   — a quick Fig. 12-style sweep (pass ``--full`` for the
+  complete suites).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def cmd_demo(_args) -> int:
+    """Quickstart comparison on the mixed-stride copy."""
+    from repro import api
+    from repro.system.reporting import format_table
+
+    workload = api.mixed_stride_workload()
+    rows = []
+    baseline = None
+    for label, result in api.compare_systems(
+        workload,
+        system_keys=("bs_dm", "bs_bsm", "bs_hm", "sdm_bsm", "sdm_bsm_ml4"),
+    ).items():
+        if baseline is None:
+            baseline = result.time_ns
+        rows.append(
+            {
+                "system": label,
+                "throughput_gbps": result.stats.throughput_gbps,
+                "speedup": baseline / result.time_ns,
+            }
+        )
+    print(format_table(rows, title=f"{workload.name} across systems"))
+    return 0
+
+
+def cmd_stride(args) -> int:
+    """Fig. 3 stride sweep under the default mapping."""
+    from repro.hbm import WindowModel, hbm2_config
+    from repro.system.reporting import format_table
+
+    config = hbm2_config()
+    model = WindowModel(config, max_inflight=256)
+    rows = []
+    for stride in (1, 2, 4, 8, 16, 32, 64):
+        pa = (
+            np.arange(args.accesses, dtype=np.uint64)
+            * np.uint64(stride * 64)
+        ) % np.uint64(config.total_bytes)
+        stats = model.simulate(pa)
+        rows.append(
+            {
+                "stride": stride,
+                "throughput_gbps": stats.throughput_gbps,
+                "channels": stats.channels_touched,
+                "row_hit_rate": stats.row_hit_rate,
+            }
+        )
+    print(
+        format_table(rows, title="stride sweep, boot-time default mapping")
+    )
+    return 0
+
+
+def cmd_hw(_args) -> int:
+    """Print the AMU/CMT overhead models (Table 3)."""
+    from repro.core import amu_area_report, cmt_storage_report
+
+    amu = amu_area_report()
+    cmt = cmt_storage_report()
+    print(
+        f"AMU: {amu['switches_per_amu']} crossbar switches, "
+        f"{amu['config_bits']}-bit config, x{amu['duplicates']} -> "
+        f"{100 * amu['logic_fraction']:.2f}% of a VU37P"
+    )
+    print(
+        f"CMT (128GB socket): two-level {cmt['two_level_kb']:.2f} KB vs "
+        f"flat {cmt['flat_kb']:.1f} KB ({cmt['saving_factor']:.1f}x), "
+        f"{cmt['lookup_latency_ns']:.0f} ns lookup"
+    )
+    return 0
+
+
+def cmd_audit(args) -> int:
+    """Build a controller, register random mappings, audit it."""
+    from repro.core import ChunkGeometry, SDAMController, audit_controller
+
+    geometry = ChunkGeometry()
+    controller = SDAMController(geometry)
+    rng = np.random.default_rng(args.seed)
+    for index in range(args.mappings):
+        mapping_id = controller.register_mapping(
+            rng.permutation(geometry.window_bits)
+        )
+        for _ in range(4):
+            controller.assign_chunk(
+                int(rng.integers(geometry.num_chunks)), mapping_id
+            )
+    report = audit_controller(controller, sample_chunks=args.chunks)
+    print(report)
+    return 0 if report.ok else 1
+
+
+def cmd_suite(args) -> int:
+    """Run a (quick) Fig. 12-style speedup sweep."""
+    from repro import api
+    from repro.system.reporting import format_table
+
+    table = api.full_evaluation(quick=not args.full)
+    rows = table.to_rows()
+    geo: dict[str, object] = {"workload": "GEOMEAN"}
+    for system in table.systems():
+        geo[system] = table.geomean(system)
+    rows.append(geo)
+    print(format_table(rows, title="speedup over BS+DM"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SDAM reproduction demos"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="quickstart system comparison")
+    stride = sub.add_parser("stride", help="Fig. 3 stride sweep")
+    stride.add_argument("--accesses", type=int, default=16384)
+    sub.add_parser("hw", help="AMU/CMT hardware overhead (Table 3)")
+    audit = sub.add_parser("audit", help="verify Section 4 correctness")
+    audit.add_argument("--mappings", type=int, default=16)
+    audit.add_argument("--chunks", type=int, default=32)
+    audit.add_argument("--seed", type=int, default=0)
+    suite = sub.add_parser("suite", help="Fig. 12-style speedup sweep")
+    suite.add_argument("--full", action="store_true")
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": cmd_demo,
+        "stride": cmd_stride,
+        "hw": cmd_hw,
+        "audit": cmd_audit,
+        "suite": cmd_suite,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Convenience surface: one import for the common SDAM workflows.
+
+For anything beyond these helpers, use the subsystem packages directly
+(``repro.core``, ``repro.hbm``, ``repro.mem``, ``repro.cpu``,
+``repro.profiling``, ``repro.ml``, ``repro.workloads``,
+``repro.system``).
+"""
+
+from __future__ import annotations
+
+from repro.core import ChunkGeometry, SDAMController
+from repro.hbm import HBMConfig, WindowModel, hbm2_config
+from repro.ml import AutoencoderConfig
+from repro.system import (
+    Machine,
+    MachineResult,
+    run_suite,
+    standard_systems,
+    system_by_key,
+)
+from repro.workloads import (
+    MixedStrideWorkload,
+    StridedCopyWorkload,
+    Workload,
+    data_intensive_suite,
+    parsec_suite,
+    spec2006_suite,
+)
+
+__all__ = [
+    "build_machine",
+    "strided_workload",
+    "mixed_stride_workload",
+    "compare_systems",
+    "full_evaluation",
+]
+
+
+def build_machine(system: str = "sdm_bsm", **machine_kwargs) -> Machine:
+    """A ready-to-run machine for a system key (e.g. ``sdm_bsm_dl32``)."""
+    return Machine(system_by_key(system), **machine_kwargs)
+
+
+def strided_workload(stride_lines: int = 16, **kwargs) -> Workload:
+    """The paper's synthetic data copy at one stride."""
+    return StridedCopyWorkload(stride_lines=stride_lines, **kwargs)
+
+
+def mixed_stride_workload(
+    strides: tuple[int, ...] = (1, 4, 8, 16), **kwargs
+) -> Workload:
+    """The four-pattern mix of Fig. 4 / Fig. 11."""
+    return MixedStrideWorkload(strides=strides, **kwargs)
+
+
+def compare_systems(
+    workload: Workload,
+    system_keys: tuple[str, ...] = ("bs_dm", "bs_hm", "sdm_bsm", "sdm_bsm_ml4"),
+    **machine_kwargs,
+) -> dict[str, MachineResult]:
+    """Run one workload under several systems; keyed by system label."""
+    results: dict[str, MachineResult] = {}
+    for key in system_keys:
+        machine = build_machine(key, **machine_kwargs)
+        result = machine.run(workload)
+        results[result.system] = result
+    return results
+
+
+def full_evaluation(quick: bool = True, **machine_kwargs):
+    """The Fig. 12 sweep: all workloads x all systems.
+
+    ``quick=True`` trims the suites and uses a small DL configuration;
+    ``quick=False`` reproduces the full benchmark run (minutes).
+    """
+    workloads = spec2006_suite() + parsec_suite() + data_intensive_suite()
+    if quick:
+        workloads = workloads[:4]
+        machine_kwargs.setdefault(
+            "dl_config", AutoencoderConfig(pretrain_steps=40, joint_steps=20)
+        )
+    return run_suite(workloads, systems=standard_systems(), **machine_kwargs)

@@ -1,0 +1,61 @@
+"""SDAM core: address mappings, chunks, AMU, CMT and the controller.
+
+This package is the paper's primary contribution — everything the
+modified memory controller and its software-visible control plane need.
+"""
+
+from repro.core.amu import AddressMappingUnit, amu_area_report
+from repro.core.bitfield import AddressLayout, BitField
+from repro.core.bitshuffle import (
+    rank_bits_by_flip_rate,
+    select_global_mapping,
+    select_window_permutation,
+)
+from repro.core.chunks import ChunkGeometry
+from repro.core.cmt import ChunkMappingTable, cmt_storage_report
+from repro.core.hashing import default_hash_mapping, hash_mapping
+from repro.core.mapping import (
+    LinearMapping,
+    PermutationMapping,
+    identity_mapping,
+    mapping_from_field_sources,
+)
+from repro.core.security import GuardPlan, plan_guard_rows, verify_isolation
+from repro.core.sdam import (
+    AddressTranslator,
+    GlobalMappingTranslator,
+    SDAMController,
+)
+from repro.core.verification import (
+    VerificationReport,
+    audit_controller,
+    verify_mapping,
+)
+
+__all__ = [
+    "AddressLayout",
+    "AddressMappingUnit",
+    "AddressTranslator",
+    "BitField",
+    "ChunkGeometry",
+    "ChunkMappingTable",
+    "GlobalMappingTranslator",
+    "GuardPlan",
+    "LinearMapping",
+    "PermutationMapping",
+    "SDAMController",
+    "VerificationReport",
+    "amu_area_report",
+    "audit_controller",
+    "cmt_storage_report",
+    "default_hash_mapping",
+    "hash_mapping",
+    "identity_mapping",
+    "mapping_from_field_sources",
+    "plan_guard_rows",
+    "rank_bits_by_flip_rate",
+    "select_global_mapping",
+    "select_window_permutation",
+    "verify_isolation",
+    "verify_mapping",
+]

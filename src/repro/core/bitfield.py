@@ -1,0 +1,161 @@
+"""Address bit-field algebra.
+
+The memory controller views a hardware address (HA) as a concatenation of
+named bit fields — byte-in-line offset, channel, column, bank and row.
+:class:`BitField` describes one field, :class:`AddressLayout` a complete
+layout, in LSB-to-MSB order.  All extract/insert helpers are vectorised
+over numpy ``uint64`` arrays so whole traces can be decoded at once.
+
+The canonical HBM2 layout used throughout the reproduction (Section 3 of
+DESIGN.md) is ``line(6) | channel(5) | column(2) | bank(3) | row(17)``:
+with the identity mapping, consecutive cache lines interleave across the
+32 channels, exactly like the boot-time channel-interleaved mapping the
+paper uses as its ``BS+DM`` baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["BitField", "AddressLayout", "extract_bits", "insert_bits"]
+
+
+def extract_bits(value: np.ndarray | int, shift: int, width: int):
+    """Return ``width`` bits of ``value`` starting at bit ``shift``."""
+    mask = (1 << width) - 1
+    if isinstance(value, np.ndarray):
+        return (value >> np.uint64(shift)) & np.uint64(mask)
+    return (int(value) >> shift) & mask
+
+
+def insert_bits(field: np.ndarray | int, shift: int, width: int):
+    """Return ``field`` (assumed < 2**width) shifted into bit position."""
+    mask = (1 << width) - 1
+    if isinstance(field, np.ndarray):
+        return (field & np.uint64(mask)) << np.uint64(shift)
+    return (int(field) & mask) << shift
+
+
+@dataclass(frozen=True)
+class BitField:
+    """One named contiguous bit field inside an address."""
+
+    name: str
+    shift: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigError(f"field {self.name!r} must have positive width")
+        if self.shift < 0:
+            raise ConfigError(f"field {self.name!r} has negative shift")
+
+    @property
+    def end(self) -> int:
+        """First bit position above the field."""
+        return self.shift + self.width
+
+    @property
+    def mask(self) -> int:
+        """Bit mask selecting this field within an address."""
+        return ((1 << self.width) - 1) << self.shift
+
+    def extract(self, value):
+        """Pull this field out of an address (scalar or array)."""
+        return extract_bits(value, self.shift, self.width)
+
+    def insert(self, field_value):
+        """Place a field value at this field's position."""
+        return insert_bits(field_value, self.shift, self.width)
+
+    def bit_positions(self) -> range:
+        """Bit positions occupied by the field, LSB first."""
+        return range(self.shift, self.end)
+
+
+class AddressLayout:
+    """An ordered, gap-free partition of an address into named fields.
+
+    Fields are given LSB-first.  The layout validates that fields tile the
+    address exactly: no overlap, no hole.
+    """
+
+    def __init__(self, fields: list[tuple[str, int]]):
+        """Build a layout from ``(name, width)`` pairs, LSB first."""
+        if not fields:
+            raise ConfigError("layout needs at least one field")
+        self._fields: dict[str, BitField] = {}
+        self._order: list[str] = []
+        shift = 0
+        for name, width in fields:
+            if name in self._fields:
+                raise ConfigError(f"duplicate field {name!r}")
+            self._fields[name] = BitField(name, shift, width)
+            self._order.append(name)
+            shift += width
+        self._width = shift
+
+    @property
+    def width(self) -> int:
+        """Total address width in bits."""
+        return self._width
+
+    @property
+    def field_names(self) -> list[str]:
+        """Field names, LSB-first."""
+        return list(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __getitem__(self, name: str) -> BitField:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise ConfigError(f"layout has no field {name!r}") from None
+
+    def __iter__(self):
+        return (self._fields[name] for name in self._order)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AddressLayout):
+            return NotImplemented
+        return [(f.name, f.width) for f in self] == [
+            (f.name, f.width) for f in other
+        ]
+
+    def __repr__(self) -> str:
+        parts = " | ".join(f"{f.name}({f.width})" for f in self)
+        return f"AddressLayout<{parts}>"
+
+    def decode(self, address) -> dict[str, np.ndarray | int]:
+        """Split an address (scalar or array) into a dict of field values."""
+        return {name: self._fields[name].extract(address) for name in self._order}
+
+    def encode(self, **field_values) -> np.ndarray | int:
+        """Assemble an address from named field values.
+
+        Missing fields default to zero; unknown names raise
+        :class:`~repro.errors.ConfigError`.
+        """
+        for name in field_values:
+            if name not in self._fields:
+                raise ConfigError(f"layout has no field {name!r}")
+        parts = [
+            self._fields[name].insert(value) for name, value in field_values.items()
+        ]
+        total = parts[0]
+        for part in parts[1:]:
+            total = total | part
+        return total
+
+    def field_of_bit(self, bit: int) -> BitField:
+        """Return the field containing absolute bit position ``bit``."""
+        for field in self:
+            if field.shift <= bit < field.end:
+                return field
+        raise ConfigError(f"bit {bit} outside {self._width}-bit layout")

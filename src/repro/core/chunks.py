@@ -1,0 +1,157 @@
+"""Chunk geometry: the coarse-grained unit of address-mapping management.
+
+Section 4 of the paper manages address mappings at *chunk* granularity
+(2 MB in the prototype): every physical frame inside a chunk shares one
+address mapping, the chunk number (the PA bits above the chunk offset)
+passes through the AMU unchanged, and only the chunk-offset bits above
+the cache-line offset are shuffled.  With a 2 MB chunk and 64 B lines
+that shuffled window is 15 bits wide — the figure the paper uses to size
+the AMU crossbar and the CMT entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AddressError, ConfigError
+
+__all__ = ["ChunkGeometry"]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+
+def _log2_exact(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ConfigError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class ChunkGeometry:
+    """Sizes tying together lines, pages, chunks and total capacity.
+
+    Parameters mirror the prototype: 64 B cache lines, 4 KiB pages,
+    2 MB chunks, 8 GB of HBM.
+    """
+
+    total_bytes: int = 8 * GiB
+    chunk_bytes: int = 2 * MiB
+    page_bytes: int = 4 * KiB
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("total_bytes", "chunk_bytes", "page_bytes", "line_bytes"):
+            _log2_exact(getattr(self, name), name)
+        if not self.line_bytes <= self.page_bytes <= self.chunk_bytes:
+            raise ConfigError("need line <= page <= chunk")
+        if self.chunk_bytes > self.total_bytes:
+            raise ConfigError("chunk larger than total memory")
+
+    # -- derived widths ------------------------------------------------
+    @property
+    def line_bits(self) -> int:
+        """Byte-in-line offset width (6 for 64 B lines)."""
+        return _log2_exact(self.line_bytes, "line_bytes")
+
+    @property
+    def page_bits(self) -> int:
+        """Page-offset width (12 for 4 KiB pages)."""
+        return _log2_exact(self.page_bytes, "page_bytes")
+
+    @property
+    def chunk_shift(self) -> int:
+        """First chunk-number bit (21 for 2 MB chunks)."""
+        return _log2_exact(self.chunk_bytes, "chunk_bytes")
+
+    @property
+    def address_bits(self) -> int:
+        """Physical address width (33 for 8 GB)."""
+        return _log2_exact(self.total_bytes, "total_bytes")
+
+    @property
+    def window_bits(self) -> int:
+        """Width of the AMU-shuffled window (15 in the prototype)."""
+        return self.chunk_shift - self.line_bits
+
+    @property
+    def num_chunks(self) -> int:
+        """Chunks in the device (4096 in the prototype)."""
+        return self.total_bytes // self.chunk_bytes
+
+    @property
+    def pages_per_chunk(self) -> int:
+        """Frames per chunk (512 in the prototype)."""
+        return self.chunk_bytes // self.page_bytes
+
+    @property
+    def lines_per_chunk(self) -> int:
+        """Cache lines per chunk (32768 in the prototype)."""
+        return self.chunk_bytes // self.line_bytes
+
+    # -- address helpers ------------------------------------------------
+    def check_address(self, pa) -> None:
+        """Raise :class:`AddressError` if any PA is outside the device."""
+        limit = self.total_bytes
+        if isinstance(pa, np.ndarray):
+            if pa.size and int(pa.max()) >= limit:
+                raise AddressError(f"physical address beyond {limit:#x}")
+        elif not 0 <= int(pa) < limit:
+            raise AddressError(f"physical address {int(pa):#x} beyond {limit:#x}")
+
+    def chunk_number(self, pa):
+        """Chunk index of a PA (scalar or array)."""
+        if isinstance(pa, np.ndarray):
+            return pa >> np.uint64(self.chunk_shift)
+        return int(pa) >> self.chunk_shift
+
+    def chunk_offset(self, pa):
+        """Offset of a PA inside its chunk."""
+        mask = self.chunk_bytes - 1
+        if isinstance(pa, np.ndarray):
+            return pa & np.uint64(mask)
+        return int(pa) & mask
+
+    def chunk_base(self, chunk_no: int) -> int:
+        """First physical address of a chunk."""
+        if not 0 <= chunk_no < self.num_chunks:
+            raise AddressError(f"chunk {chunk_no} outside 0..{self.num_chunks - 1}")
+        return chunk_no << self.chunk_shift
+
+    def page_number(self, pa):
+        """Physical frame number of a PA (scalar or array)."""
+        if isinstance(pa, np.ndarray):
+            return pa >> np.uint64(self.page_bits)
+        return int(pa) >> self.page_bits
+
+    def window_slice(self) -> tuple[int, int]:
+        """The ``[low, high)`` bit window the AMU is allowed to permute."""
+        return self.line_bits, self.chunk_shift
+
+    # -- guard rows (row-hammer mitigation extension, Section 4) --------
+    def guard_line_offsets(self, rows_per_guard: int, row_bytes: int) -> np.ndarray:
+        """Chunk-relative byte offsets of guard rows at the chunk edges.
+
+        Following the paper's row-hammer discussion, a *sensitive* chunk
+        reserves its first and last ``rows_per_guard`` DRAM rows so data in
+        neighbouring chunks cannot hammer it.  Returns the byte offsets of
+        the reserved rows (row granularity).
+        """
+        if rows_per_guard <= 0:
+            raise ConfigError("rows_per_guard must be positive")
+        rows_in_chunk = self.chunk_bytes // row_bytes
+        if 2 * rows_per_guard >= rows_in_chunk:
+            raise ConfigError("guard rows would consume the whole chunk")
+        head = np.arange(rows_per_guard, dtype=np.int64)
+        tail = np.arange(rows_in_chunk - rows_per_guard, rows_in_chunk, dtype=np.int64)
+        return np.concatenate([head, tail]) * row_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkGeometry(total={self.total_bytes // GiB}GiB, "
+            f"chunk={self.chunk_bytes // MiB}MiB, "
+            f"chunks={self.num_chunks}, window={self.window_bits}b)"
+        )

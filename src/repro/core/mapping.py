@@ -1,0 +1,285 @@
+"""Physical-address to hardware-address (PA-to-HA) mappings.
+
+The paper's memory controller transforms a flat physical address into the
+3D hierarchical hardware address of channels/banks/rows (Section 2.2).
+Two families of invertible mapping are modelled:
+
+* :class:`PermutationMapping` — the *bit-shuffle* family (Akin et al.,
+  and the paper's AMU): HA bit ``i`` is a copy of one PA bit.  Exactly
+  the mapping class the AMU crossbar can realise.
+* :class:`LinearMapping` — the *hashing* family (Liu et al., the
+  ``BS+HM`` baseline): each HA bit is the XOR of a set of PA bits, i.e.
+  an invertible linear transform over GF(2).
+
+A permutation is a special case of a linear map; both expose the same
+``apply`` / ``inverse`` interface and a rigorous invertibility check, the
+property Section 4 requires for functional correctness ("one PA can map
+to only one HA or vice versa").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bitfield import AddressLayout
+from repro.errors import MappingError
+
+__all__ = [
+    "PermutationMapping",
+    "LinearMapping",
+    "identity_mapping",
+    "mapping_from_field_sources",
+]
+
+
+class PermutationMapping:
+    """A bit permutation: HA bit ``i`` equals PA bit ``source[i]``.
+
+    ``source`` must be a permutation of ``range(width)``.  Application is
+    vectorised: ``width`` shift/mask passes over the whole address array.
+    """
+
+    def __init__(self, source: "list[int] | np.ndarray"):
+        source_arr = np.asarray(source, dtype=np.int64)
+        if source_arr.ndim != 1:
+            raise MappingError("source must be a 1-D sequence of bit indices")
+        width = source_arr.size
+        if width == 0:
+            raise MappingError("mapping must cover at least one bit")
+        if sorted(source_arr.tolist()) != list(range(width)):
+            raise MappingError(
+                "source is not a permutation of bit indices "
+                f"0..{width - 1}: {source_arr.tolist()}"
+            )
+        self._source = source_arr
+        self._width = width
+
+    @property
+    def width(self) -> int:
+        """Number of address bits the mapping covers."""
+        return self._width
+
+    @property
+    def source(self) -> np.ndarray:
+        """Copy of the permutation vector (HA bit -> PA bit)."""
+        return self._source.copy()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PermutationMapping):
+            return NotImplemented
+        return np.array_equal(self._source, other._source)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._source.tolist()))
+
+    def __repr__(self) -> str:
+        return f"PermutationMapping({self._source.tolist()})"
+
+    def is_identity(self) -> bool:
+        """True when every HA bit equals its PA bit."""
+        return bool(np.array_equal(self._source, np.arange(self._width)))
+
+    def apply(self, pa):
+        """Map physical address(es) to hardware address(es)."""
+        scalar = np.isscalar(pa) or isinstance(pa, int)
+        pa_arr = np.asarray(pa, dtype=np.uint64)
+        ha = np.zeros_like(pa_arr)
+        for ha_bit in range(self._width):
+            pa_bit = int(self._source[ha_bit])
+            if pa_bit == ha_bit:
+                ha |= pa_arr & np.uint64(1 << ha_bit)
+            else:
+                bit = (pa_arr >> np.uint64(pa_bit)) & np.uint64(1)
+                ha |= bit << np.uint64(ha_bit)
+        if scalar:
+            return int(ha)
+        return ha
+
+    def inverse(self) -> "PermutationMapping":
+        """Return the HA-to-PA mapping."""
+        inv = np.empty(self._width, dtype=np.int64)
+        inv[self._source] = np.arange(self._width)
+        return PermutationMapping(inv)
+
+    def compose(self, inner: "PermutationMapping") -> "PermutationMapping":
+        """Return the mapping equivalent to ``self(inner(pa))``."""
+        if inner.width != self._width:
+            raise MappingError("cannot compose mappings of different widths")
+        return PermutationMapping(inner._source[self._source])
+
+    def restricted_window(self, low: int, high: int) -> bool:
+        """True if the permutation only moves bits inside ``[low, high)``.
+
+        SDAM requires the chunk number (bits >= chunk shift) and the
+        byte-in-line offset (bits < line shift) to pass through unchanged.
+        """
+        idx = np.arange(self._width)
+        outside = (idx < low) | (idx >= high)
+        return bool(np.array_equal(self._source[outside], idx[outside]))
+
+    def window_permutation(self, low: int, high: int) -> np.ndarray:
+        """Extract the permutation of bits in ``[low, high)``, 0-based.
+
+        Raises :class:`MappingError` if the mapping moves bits across the
+        window boundary.
+        """
+        if not self.restricted_window(low, high):
+            raise MappingError(
+                f"mapping moves bits outside window [{low}, {high})"
+            )
+        return self._source[low:high] - low
+
+    def as_matrix(self) -> np.ndarray:
+        """Return the equivalent GF(2) matrix (rows = HA bits)."""
+        matrix = np.zeros((self._width, self._width), dtype=np.uint8)
+        matrix[np.arange(self._width), self._source] = 1
+        return matrix
+
+    def to_linear(self) -> "LinearMapping":
+        """The same mapping as a GF(2) linear transform."""
+        return LinearMapping(self.as_matrix())
+
+
+def _gf2_inverse(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square GF(2) matrix; raise MappingError if singular."""
+    n = matrix.shape[0]
+    work = matrix.astype(np.uint8).copy()
+    inverse = np.eye(n, dtype=np.uint8)
+    for col in range(n):
+        pivot_rows = np.nonzero(work[col:, col])[0]
+        if pivot_rows.size == 0:
+            raise MappingError("GF(2) matrix is singular (mapping not 1-to-1)")
+        pivot = col + int(pivot_rows[0])
+        if pivot != col:
+            work[[col, pivot]] = work[[pivot, col]]
+            inverse[[col, pivot]] = inverse[[pivot, col]]
+        other = np.nonzero(work[:, col])[0]
+        other = other[other != col]
+        work[other] ^= work[col]
+        inverse[other] ^= inverse[col]
+    return inverse
+
+
+class LinearMapping:
+    """An invertible GF(2) linear transform: HA = M · PA (bit vectors).
+
+    ``matrix[i, j] == 1`` means PA bit ``j`` contributes (by XOR) to HA
+    bit ``i``.  Construction verifies invertibility; a singular matrix —
+    one that would alias two PAs onto one HA — is rejected, enforcing the
+    Section 4 correctness guarantee.
+    """
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.uint8) & 1
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise MappingError("matrix must be square")
+        self._matrix = matrix
+        self._inverse_matrix = _gf2_inverse(matrix)  # raises if singular
+        self._width = matrix.shape[0]
+        # Row bit masks let apply() XOR-fold input bits with integer ops.
+        self._row_masks = np.array(
+            [
+                int("".join("1" if b else "0" for b in row[::-1]), 2)
+                for row in matrix
+            ],
+            dtype=np.uint64,
+        )
+
+    @property
+    def width(self) -> int:
+        """Number of address bits the transform covers."""
+        return self._width
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Copy of the GF(2) matrix (rows = HA bits)."""
+        return self._matrix.copy()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearMapping):
+            return NotImplemented
+        return np.array_equal(self._matrix, other._matrix)
+
+    def __hash__(self) -> int:
+        return hash(self._matrix.tobytes())
+
+    def __repr__(self) -> str:
+        terms = int(self._matrix.sum())
+        return f"LinearMapping(width={self._width}, xor_terms={terms})"
+
+    @staticmethod
+    def _parity(values: np.ndarray) -> np.ndarray:
+        """Bit-count parity of each uint64 (vectorised popcount & 1)."""
+        v = values.copy()
+        for shift in (32, 16, 8, 4, 2, 1):
+            v ^= v >> np.uint64(shift)
+        return v & np.uint64(1)
+
+    def apply(self, pa):
+        """Map physical address(es) to hardware address(es)."""
+        scalar = np.isscalar(pa) or isinstance(pa, int)
+        pa_arr = np.atleast_1d(np.asarray(pa, dtype=np.uint64))
+        ha = np.zeros_like(pa_arr)
+        for ha_bit in range(self._width):
+            mask = self._row_masks[ha_bit]
+            if mask == 0:
+                continue
+            bit = self._parity(pa_arr & mask)
+            ha |= bit << np.uint64(ha_bit)
+        if scalar:
+            return int(ha[0])
+        return ha.reshape(np.shape(pa))
+
+    def inverse(self) -> "LinearMapping":
+        """The HA-to-PA transform (precomputed at construction)."""
+        return LinearMapping(self._inverse_matrix)
+
+    def is_identity(self) -> bool:
+        """True when the matrix is the identity."""
+        return bool(np.array_equal(self._matrix, np.eye(self._width, dtype=np.uint8)))
+
+    def as_matrix(self) -> np.ndarray:
+        """Alias of :attr:`matrix` (shared mapping interface)."""
+        return self.matrix
+
+
+def identity_mapping(width: int) -> PermutationMapping:
+    """The boot-time default (``BS+DM``): HA bit i = PA bit i."""
+    return PermutationMapping(np.arange(width))
+
+
+def mapping_from_field_sources(
+    layout: AddressLayout, sources: dict[str, list[int]]
+) -> PermutationMapping:
+    """Build a permutation by stating which PA bits feed each HA field.
+
+    ``sources[name]`` lists PA bit positions, LSB of the field first.
+    Fields absent from ``sources`` keep their identity bits only if those
+    bits are not claimed elsewhere; remaining PA bits fill remaining HA
+    positions in ascending order.
+
+    This is the constructor the bit-shuffle selector uses: "put the five
+    highest-flipping PA bits into the channel field".
+    """
+    width = layout.width
+    source = np.full(width, -1, dtype=np.int64)
+    used: set[int] = set()
+    for name, bits in sources.items():
+        field = layout[name]
+        if len(bits) != field.width:
+            raise MappingError(
+                f"field {name!r} needs {field.width} source bits, got {len(bits)}"
+            )
+        for offset, pa_bit in enumerate(bits):
+            if not 0 <= pa_bit < width:
+                raise MappingError(f"source bit {pa_bit} outside address width")
+            if pa_bit in used:
+                raise MappingError(f"PA bit {pa_bit} assigned twice")
+            used.add(pa_bit)
+            source[field.shift + offset] = pa_bit
+    remaining = [bit for bit in range(width) if bit not in used]
+    holes = np.nonzero(source < 0)[0]
+    if len(remaining) != len(holes):  # pragma: no cover - internal invariant
+        raise MappingError("field sources do not tile the address")
+    source[holes] = remaining
+    return PermutationMapping(source)

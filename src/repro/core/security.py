@@ -1,0 +1,148 @@
+"""Row-hammer guard rows: the Section 4 security extension.
+
+"As each chunk consists of a large number of contiguous rows within a
+bank, we can mitigate the row hammer attack by adding guard rows to
+the sensitive data to ensure strong physical isolation between data
+belonging to different security domains."
+
+This module turns that sketch into a checkable mechanism: given a
+chunk, its address mapping and the device geometry, it computes which
+*physical addresses* occupy the DRAM rows bordering the chunk's data in
+every bank, reserves them, and can verify the resulting isolation —
+no address outside the protected set maps to a row adjacent to a
+protected row in the same bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunks import ChunkGeometry
+from repro.core.sdam import SDAMController
+from repro.errors import ConfigError
+from repro.hbm.config import HBMConfig
+from repro.hbm.decode import decode_trace
+
+__all__ = ["GuardPlan", "plan_guard_rows", "verify_isolation"]
+
+
+@dataclass(frozen=True)
+class GuardPlan:
+    """Reserved guard addresses for one sensitive chunk."""
+
+    chunk_no: int
+    guard_pa: np.ndarray  # physical addresses that must stay unallocated
+    protected_rows: np.ndarray  # (global_bank, row) pairs holding data
+    guard_rows: np.ndarray  # (global_bank, row) pairs reserved as guards
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Capacity sacrificed to guards (64 B lines)."""
+        return int(self.guard_pa.size) * 64
+
+
+def _chunk_rows(
+    geometry: ChunkGeometry,
+    hbm: HBMConfig,
+    controller: SDAMController,
+    chunk_no: int,
+):
+    """Decode every line of a chunk: (pa, global_bank, row)."""
+    base = geometry.chunk_base(chunk_no)
+    pa = np.uint64(base) + np.arange(
+        geometry.lines_per_chunk, dtype=np.uint64
+    ) * np.uint64(geometry.line_bytes)
+    ha = controller.translate(pa)
+    decoded = decode_trace(ha, hbm)
+    return pa, decoded.global_bank, decoded.row
+
+
+def plan_guard_rows(
+    geometry: ChunkGeometry,
+    hbm: HBMConfig,
+    controller: SDAMController,
+    chunk_no: int,
+    rows_per_guard: int = 1,
+) -> GuardPlan:
+    """Reserve the DRAM rows bordering a sensitive chunk's data.
+
+    For every bank the chunk touches, the rows adjacent (within
+    ``rows_per_guard``) to the chunk's edge rows are identified.  Rows
+    that belong to the chunk itself become *internal* guards: their
+    physical addresses are returned so the allocator can keep them
+    empty.  Rows outside the chunk belong to other chunk numbers and
+    are already isolated by construction (the chunk number feeds the
+    row MSBs), so only a misconfigured geometry can violate them —
+    which :func:`verify_isolation` checks.
+    """
+    if rows_per_guard < 1:
+        raise ConfigError("rows_per_guard must be >= 1")
+    pa, banks, rows = _chunk_rows(geometry, hbm, controller, chunk_no)
+    # Distinct (bank, row) pairs holding chunk data.
+    keys = banks * np.int64(hbm.rows_per_bank) + rows
+    order = np.argsort(keys, kind="stable")
+    unique_keys, first_index = np.unique(keys[order], return_index=True)
+    data_banks = unique_keys // hbm.rows_per_bank
+    data_rows = unique_keys % hbm.rows_per_bank
+    protected = np.stack([data_banks, data_rows], axis=1)
+
+    # Edge rows per bank: min/max row in each bank's contiguous span.
+    guard_pairs = []
+    for bank in np.unique(data_banks):
+        bank_rows = data_rows[data_banks == bank]
+        low, high = int(bank_rows.min()), int(bank_rows.max())
+        for distance in range(1, rows_per_guard + 1):
+            if low - distance >= 0:
+                guard_pairs.append((int(bank), low - distance))
+            if high + distance < hbm.rows_per_bank:
+                guard_pairs.append((int(bank), high + distance))
+        # Interior edge rows: the chunk's own first/last row per bank
+        # double as internal guards around the protected payload.
+        guard_pairs.append((int(bank), low))
+        guard_pairs.append((int(bank), high))
+    guard_rows = np.array(sorted(set(guard_pairs)), dtype=np.int64)
+
+    # Guard addresses *inside* the chunk (the allocator must hold them).
+    guard_keys = set(
+        int(bank) * hbm.rows_per_bank + int(row) for bank, row in guard_rows
+    )
+    inside = np.fromiter(
+        (int(k) in guard_keys for k in keys), dtype=bool, count=keys.size
+    )
+    return GuardPlan(
+        chunk_no=chunk_no,
+        guard_pa=pa[inside],
+        protected_rows=protected,
+        guard_rows=guard_rows,
+    )
+
+
+def verify_isolation(
+    plan: GuardPlan,
+    geometry: ChunkGeometry,
+    hbm: HBMConfig,
+    controller: SDAMController,
+    attacker_chunks: list[int],
+) -> bool:
+    """Check no attacker-reachable line neighbours protected data rows.
+
+    An attacker controlling the given chunks (minus the guard
+    addresses) must not be able to activate a row physically adjacent
+    to any protected row in the same bank.
+    """
+    guard_set = set(map(int, plan.guard_pa.tolist()))
+    protected = {
+        (int(bank), int(row)) for bank, row in plan.protected_rows
+    } - {(int(bank), int(row)) for bank, row in plan.guard_rows}
+    for chunk_no in attacker_chunks:
+        pa, banks, rows = _chunk_rows(geometry, hbm, controller, chunk_no)
+        usable = np.fromiter(
+            (int(p) not in guard_set for p in pa), dtype=bool, count=pa.size
+        )
+        for bank, row in zip(banks[usable], rows[usable]):
+            for neighbour in (int(row) - 1, int(row) + 1):
+                if (int(bank), neighbour) in protected:
+                    return False
+    return True

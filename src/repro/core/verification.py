@@ -1,0 +1,157 @@
+"""Correctness audits for the Section 4 functional guarantee.
+
+"One PA can map to only one HA or vice versa": this module provides
+executable checks of that property — exhaustive within a chunk,
+sampled across the device — plus an audit of the chunk-number
+preservation rule and the AMU/CMT configuration consistency.  Useful
+both in tests and as a runtime debugging aid when composing custom
+mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.chunks import ChunkGeometry
+from repro.core.mapping import LinearMapping, PermutationMapping
+from repro.core.sdam import SDAMController
+from repro.errors import MappingError
+
+__all__ = ["VerificationReport", "verify_mapping", "audit_controller"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a correctness audit."""
+
+    checks_run: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return not self.failures
+
+    def check(self, passed: bool, message: str) -> None:
+        """Record one check; ``message`` is kept on failure."""
+        self.checks_run += 1
+        if not passed:
+            self.failures.append(message)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`MappingError` if any check failed."""
+        if self.failures:
+            raise MappingError(
+                "verification failed: " + "; ".join(self.failures)
+            )
+
+    def __repr__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return f"VerificationReport({self.checks_run} checks, {status})"
+
+
+def verify_mapping(
+    mapping: PermutationMapping | LinearMapping,
+    exhaustive_bits: int = 16,
+) -> VerificationReport:
+    """Check a single mapping is a bijection.
+
+    Exhaustive over the low ``exhaustive_bits`` of the space (with the
+    remaining bits zero), plus an inverse round-trip over random
+    samples of the full width.
+    """
+    report = VerificationReport()
+    width = mapping.width
+    span = 1 << min(exhaustive_bits, width)
+    space = np.arange(span, dtype=np.uint64)
+    mapped = np.asarray(mapping.apply(space))
+    report.check(
+        np.unique(mapped).size == span,
+        f"mapping aliases values within the low {min(exhaustive_bits, width)}"
+        " bits",
+    )
+    inverse = mapping.inverse()
+    rng = np.random.default_rng(0)
+    sample = rng.integers(0, 1 << width, 512, dtype=np.uint64)
+    roundtrip = np.asarray(inverse.apply(np.asarray(mapping.apply(sample))))
+    report.check(
+        bool(np.array_equal(roundtrip, sample)),
+        "inverse(apply(x)) != x on random samples",
+    )
+    return report
+
+
+def audit_controller(
+    controller: SDAMController,
+    sample_chunks: int = 8,
+    lines_per_chunk: int = 2048,
+    seed: int = 0,
+) -> VerificationReport:
+    """Audit a live SDAM controller against the Section 4 rules.
+
+    * every interned mapping is an invertible window permutation;
+    * chunk numbers pass through translation unchanged;
+    * translation is injective within each sampled chunk;
+    * the two-level CMT is internally consistent (every bound chunk
+      points at an interned mapping).
+    """
+    report = VerificationReport()
+    geometry: ChunkGeometry = controller.geometry
+    cmt = controller.cmt
+
+    for index in range(cmt.live_mappings):
+        perm = cmt.config_of(index)
+        report.check(
+            sorted(perm.tolist()) == list(range(geometry.window_bits)),
+            f"mapping {index} is not a window permutation",
+        )
+        try:
+            full = controller.full_mapping(index)
+        except MappingError as error:
+            report.check(False, f"mapping {index} rejected by AMU: {error}")
+            continue
+        low, high = geometry.window_slice()
+        report.check(
+            full.restricted_window(low, high),
+            f"mapping {index} leaks outside the chunk window",
+        )
+
+    rng = np.random.default_rng(seed)
+    chunk_numbers = rng.integers(
+        0, geometry.num_chunks, min(sample_chunks, geometry.num_chunks)
+    )
+    for chunk_no in np.unique(chunk_numbers):
+        index = cmt.mapping_index_of(int(chunk_no))
+        report.check(
+            0 <= index < cmt.live_mappings,
+            f"chunk {chunk_no} bound to unknown mapping {index}",
+        )
+        base = geometry.chunk_base(int(chunk_no))
+        offsets = rng.choice(
+            geometry.lines_per_chunk,
+            size=min(lines_per_chunk, geometry.lines_per_chunk),
+            replace=False,
+        ).astype(np.uint64)
+        pa = np.uint64(base) + offsets * np.uint64(geometry.line_bytes)
+        try:
+            ha = controller.translate(pa)
+        except MappingError as error:
+            report.check(
+                False, f"chunk {chunk_no}: translation failed: {error}"
+            )
+            continue
+        report.check(
+            bool(
+                np.array_equal(
+                    geometry.chunk_number(ha), geometry.chunk_number(pa)
+                )
+            ),
+            f"chunk {chunk_no}: chunk number not preserved",
+        )
+        report.check(
+            np.unique(ha).size == pa.size,
+            f"chunk {chunk_no}: translation aliases addresses",
+        )
+    return report

@@ -1,0 +1,17 @@
+"""Request-stream substrate: traces, caches, CPU and accelerator models."""
+
+from repro.cpu.accelerator import AcceleratorModel
+from repro.cpu.cache import CacheStats, SetAssociativeCache
+from repro.cpu.cpu import CPUModel, ExternalTraceResult
+from repro.cpu.trace import AccessTrace, concat_traces, interleave_traces
+
+__all__ = [
+    "AcceleratorModel",
+    "AccessTrace",
+    "CPUModel",
+    "CacheStats",
+    "ExternalTraceResult",
+    "SetAssociativeCache",
+    "concat_traces",
+    "interleave_traces",
+]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the SDAM reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without catching programming errors.
+The sub-classes mirror the major subsystems: address-mapping math, the
+chunk-mapping table, the OS memory allocators, and the simulators.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class MappingError(ReproError):
+    """An address mapping is malformed (not a permutation, wrong width...)."""
+
+
+class CMTError(ReproError):
+    """Chunk-mapping-table misuse: unknown chunk, table overflow, etc."""
+
+
+class AllocationError(ReproError):
+    """Physical or virtual memory could not be allocated."""
+
+
+class OutOfMemoryError(AllocationError):
+    """No free chunks/frames/heap space remain."""
+
+
+class AddressError(ReproError):
+    """An address is outside the valid physical/virtual range."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The memory simulator was driven into an invalid state."""
+
+
+class ProfilingError(ReproError):
+    """Profiling data is missing or inconsistent (unknown variable...)."""
+
+
+class TrainingError(ReproError):
+    """A machine-learning component failed to train or converge."""

@@ -1,0 +1,19 @@
+"""3D-memory simulator substrate: device configs and two fidelity tiers."""
+
+from repro.hbm.config import HBMConfig, ddr4_config, hbm2_config
+from repro.hbm.decode import DecodedTrace, decode_trace
+from repro.hbm.device import HBMDevice
+from repro.hbm.fastmodel import WindowModel, row_hit_mask
+from repro.hbm.stats import RunStats
+
+__all__ = [
+    "DecodedTrace",
+    "HBMConfig",
+    "HBMDevice",
+    "RunStats",
+    "WindowModel",
+    "ddr4_config",
+    "decode_trace",
+    "hbm2_config",
+    "row_hit_mask",
+]

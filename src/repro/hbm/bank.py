@@ -1,0 +1,42 @@
+"""Row-buffer state machine for one DRAM bank (event-driven model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Bank"]
+
+
+@dataclass
+class Bank:
+    """One bank: an open row and a ready time.
+
+    ``open_row`` is ``None`` after power-up (the first access always
+    pays the activation cost).  ``ready_ns`` is when the bank can begin
+    its next access.  The surrounding channel owns the data bus; the
+    bank only models row state and per-bank serialisation.
+    """
+
+    open_row: int | None = None
+    ready_ns: float = 0.0
+    hits: int = 0
+    misses: int = 0
+
+    def would_hit(self, row: int) -> bool:
+        """True if the row is currently open in this bank."""
+        return self.open_row == row
+
+    def probe(self, row: int, t_burst: float, t_row_miss: float):
+        """Cost of accessing ``row`` now; returns ``(cost_ns, was_hit)``."""
+        if self.open_row == row:
+            return t_burst, True
+        return t_row_miss, False
+
+    def commit(self, row: int, done_ns: float, was_hit: bool) -> None:
+        """Record a completed access ending at ``done_ns``."""
+        self.open_row = row
+        self.ready_ns = done_ns
+        if was_hit:
+            self.hits += 1
+        else:
+            self.misses += 1

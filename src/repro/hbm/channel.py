@@ -1,0 +1,99 @@
+"""One memory channel: banks behind a shared data bus, FR-FCFS issue.
+
+Accesses to different channels proceed fully in parallel (CLP); within a
+channel the data bus serialises transfers, while row activations overlap
+across banks (BLP) — which is why CLP buys so much more than BLP/RLP
+(Section 2.1).  The scheduler is first-ready FCFS: among queued requests
+it prefers one whose bank has the right row open, falling back to the
+oldest request.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.hbm.bank import Bank
+
+__all__ = ["Channel", "ChannelRequest"]
+
+
+@dataclass
+class ChannelRequest:
+    """A request as seen by one channel."""
+
+    index: int  # position in the original trace
+    bank: int
+    row: int
+    arrival_ns: float
+
+
+class Channel:
+    """Per-channel queue + banks + data bus."""
+
+    def __init__(
+        self,
+        banks_per_channel: int,
+        t_burst_ns: float,
+        t_row_miss_ns: float,
+        frfcfs_window: int = 8,
+    ):
+        self.banks = [Bank() for _ in range(banks_per_channel)]
+        self.t_burst_ns = t_burst_ns
+        self.t_row_miss_ns = t_row_miss_ns
+        self.frfcfs_window = max(1, frfcfs_window)
+        self.queue: deque[ChannelRequest] = deque()
+        self.bus_free_ns = 0.0
+        self.busy_ns = 0.0
+        self.served = 0
+        self._last_done_ns = 0.0
+
+    def enqueue(self, request: ChannelRequest) -> None:
+        """Append a request to the channel queue."""
+        self.queue.append(request)
+
+    def has_work(self) -> bool:
+        """True while requests are queued."""
+        return bool(self.queue)
+
+    def next_start_estimate(self) -> float:
+        """Heuristic earliest start, used to order service across channels."""
+        if not self.queue:
+            return float("inf")
+        return max(self.bus_free_ns, self.queue[0].arrival_ns)
+
+    def _pick(self, now_ns: float) -> ChannelRequest:
+        """FR-FCFS: earliest-arrived row hit in the lookahead window,
+        else the oldest request.  Arrivals are non-decreasing, so the
+        scan can stop at the first not-yet-arrived request."""
+        limit = min(len(self.queue), self.frfcfs_window)
+        for position in range(limit):
+            candidate = self.queue[position]
+            if candidate.arrival_ns > now_ns:
+                break
+            if self.banks[candidate.bank].would_hit(candidate.row):
+                del self.queue[position]
+                return candidate
+        return self.queue.popleft()
+
+    def service_next(self, now_ns: float):
+        """Issue one request; returns ``(request, done_ns, was_hit)``.
+
+        The bank pays the full hit/miss cost; the data bus only carries
+        the final burst, so activations in different banks overlap but
+        transfers serialise.
+        """
+        request = self._pick(now_ns)
+        bank = self.banks[request.bank]
+        # Activation can begin as soon as the request is visible and the
+        # bank is free — it overlaps with other banks' bursts on the bus.
+        bank_start = max(request.arrival_ns, bank.ready_ns)
+        cost, hit = bank.probe(request.row, self.t_burst_ns, self.t_row_miss_ns)
+        done = max(bank_start + cost, self.bus_free_ns + self.t_burst_ns)
+        bank.commit(request.row, done, hit)
+        self.bus_free_ns = done
+        # Channel active time = union of [bank_start, done] intervals.
+        self.busy_ns += done - max(bank_start, self._last_done_ns)
+        self._last_done_ns = done
+        self.served += 1
+        return request, done, hit

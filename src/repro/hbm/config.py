@@ -1,0 +1,173 @@
+"""HBM / DDR device configurations.
+
+Geometry and timing for the simulated memory devices.  The canonical
+HBM2 configuration mirrors the paper's platform: two stacks totalling
+8 GB and 32 independent channels, 256 B rows (so only 4 cache lines per
+row — high CLP, low RLP), against a DDR4 reference with 4 channels and
+2 KB rows (low CLP, high RLP) for the Section 2.1 comparison.
+
+Timing is expressed in nanoseconds per cache-line transfer: ``t_burst``
+is the cost of a row-buffer hit (back-to-back column access) and
+``t_row_miss`` the cost of closing + activating a row.  Peak bandwidth
+is ``channels * line_bytes / t_burst`` — 204.8 GB/s for the HBM2
+defaults, matching the ~200 GB/s ceiling of Fig. 1/3, and 102.4 GB/s for
+DDR4, matching Section 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.bitfield import AddressLayout
+from repro.errors import ConfigError
+
+__all__ = ["HBMConfig", "hbm2_config", "ddr4_config"]
+
+GiB = 1024**3
+
+
+def _bits(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ConfigError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class HBMConfig:
+    """Geometry + timing of one memory device."""
+
+    name: str = "hbm2"
+    total_bytes: int = 8 * GiB
+    num_channels: int = 32
+    banks_per_channel: int = 8
+    row_bytes: int = 256
+    line_bytes: int = 64
+    t_burst_ns: float = 10.0
+    t_row_miss_ns: float = 45.0
+    frequency_scale: float = 1.0
+    """Fig. 14 knob: 0.25 emulates HBM at a quarter of its frequency."""
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "total_bytes",
+            "num_channels",
+            "banks_per_channel",
+            "row_bytes",
+            "line_bytes",
+        ):
+            _bits(getattr(self, field_name), field_name)
+        if self.row_bytes < self.line_bytes:
+            raise ConfigError("row smaller than a cache line")
+        if self.t_burst_ns <= 0 or self.t_row_miss_ns < self.t_burst_ns:
+            raise ConfigError("need 0 < t_burst <= t_row_miss")
+        if self.frequency_scale <= 0:
+            raise ConfigError("frequency_scale must be positive")
+
+    # -- bit widths ---------------------------------------------------------
+    @property
+    def line_bits(self) -> int:
+        """Byte-in-line offset width."""
+        return _bits(self.line_bytes, "line_bytes")
+
+    @property
+    def column_bits(self) -> int:
+        """Cache lines per row (RLP): 2 bits for 256 B rows."""
+        return _bits(self.row_bytes // self.line_bytes, "row columns")
+
+    @property
+    def channel_bits(self) -> int:
+        """Channel-select width (5 for 32 channels)."""
+        return _bits(self.num_channels, "num_channels")
+
+    @property
+    def bank_bits(self) -> int:
+        """Bank-select width."""
+        return _bits(self.banks_per_channel, "banks_per_channel")
+
+    @property
+    def address_bits(self) -> int:
+        """Total address width for the device capacity."""
+        return _bits(self.total_bytes, "total_bytes")
+
+    @property
+    def row_bits(self) -> int:
+        """Row-index width (whatever the other fields leave)."""
+        used = (
+            self.line_bits
+            + self.column_bits
+            + self.channel_bits
+            + self.bank_bits
+        )
+        row = self.address_bits - used
+        if row <= 0:
+            raise ConfigError("geometry leaves no row bits")
+        return row
+
+    @property
+    def rows_per_bank(self) -> int:
+        """DRAM rows in each bank."""
+        return 1 << self.row_bits
+
+    @property
+    def num_banks(self) -> int:
+        """Banks across the whole device."""
+        return self.num_channels * self.banks_per_channel
+
+    def layout(self) -> AddressLayout:
+        """Hardware-address field layout, LSB first.
+
+        ``line | channel | column | bank | row``: with the identity
+        mapping this is the boot-time channel-interleaved default
+        (consecutive cache lines rotate through all channels), i.e. the
+        paper's ``BS+DM`` baseline.
+        """
+        return AddressLayout(
+            [
+                ("line", self.line_bits),
+                ("channel", self.channel_bits),
+                ("column", self.column_bits),
+                ("bank", self.bank_bits),
+                ("row", self.row_bits),
+            ]
+        )
+
+    # -- timing --------------------------------------------------------------
+    @property
+    def effective_t_burst_ns(self) -> float:
+        """Row-hit service time after frequency scaling."""
+        return self.t_burst_ns / self.frequency_scale
+
+    @property
+    def effective_t_row_miss_ns(self) -> float:
+        """Row-miss service time after frequency scaling."""
+        return self.t_row_miss_ns / self.frequency_scale
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """GB/s with every channel streaming row hits."""
+        return self.num_channels * self.line_bytes / self.effective_t_burst_ns
+
+    def scaled(self, frequency_scale: float) -> "HBMConfig":
+        """Same device at a different frequency (Fig. 14)."""
+        return replace(self, frequency_scale=frequency_scale)
+
+
+def hbm2_config(**overrides) -> HBMConfig:
+    """The paper's platform: 8 GB HBM2, 32 channels, 256 B rows."""
+    return HBMConfig(**overrides) if overrides else HBMConfig()
+
+
+def ddr4_config(**overrides) -> HBMConfig:
+    """A DDR4-like reference: 4 channels, 2 KB rows, 102.4 GB/s peak."""
+    defaults = dict(
+        name="ddr4",
+        total_bytes=32 * GiB,
+        num_channels=4,
+        banks_per_channel=16,
+        row_bytes=2048,
+        line_bytes=64,
+        t_burst_ns=2.5,
+        t_row_miss_ns=47.5,
+    )
+    defaults.update(overrides)
+    return HBMConfig(**defaults)

@@ -1,0 +1,130 @@
+"""Event-driven HBM device model — the reference fidelity tier.
+
+Requests from the trace are admitted under a global in-flight window
+(the MLP the core can sustain), queue per channel, and are issued
+FR-FCFS against per-bank row-buffer state, with the channel data bus
+serialising transfers.  Slower than :class:`~repro.hbm.fastmodel.
+WindowModel` but models queueing and scheduler reordering explicitly;
+``tests/hbm/test_model_agreement.py`` checks the two tiers agree.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.hbm.channel import Channel, ChannelRequest
+from repro.hbm.config import HBMConfig
+from repro.hbm.decode import decode_trace
+from repro.hbm.stats import RunStats
+
+__all__ = ["HBMDevice"]
+
+
+class HBMDevice:
+    """Event-driven multi-channel memory device."""
+
+    def __init__(
+        self,
+        config: HBMConfig,
+        max_inflight: int = 64,
+        frfcfs_window: int = 8,
+    ):
+        if max_inflight < 1:
+            raise SimulationError("max_inflight must be >= 1")
+        self.config = config
+        self.max_inflight = max_inflight
+        self.frfcfs_window = frfcfs_window
+
+    def _new_channels(self) -> list[Channel]:
+        return [
+            Channel(
+                banks_per_channel=self.config.banks_per_channel,
+                t_burst_ns=self.config.effective_t_burst_ns,
+                t_row_miss_ns=self.config.effective_t_row_miss_ns,
+                frfcfs_window=self.frfcfs_window,
+            )
+            for _ in range(self.config.num_channels)
+        ]
+
+    def simulate(self, ha: np.ndarray) -> RunStats:
+        """Run a hardware-address trace through the device."""
+        ha = np.asarray(ha, dtype=np.uint64)
+        n = ha.size
+        channels = self._new_channels()
+        num_channels = self.config.num_channels
+        if n == 0:
+            zeros = np.zeros(num_channels)
+            return RunStats(0, 0, 0.0, 0, 0, num_channels, zeros, zeros)
+
+        decoded = decode_trace(ha, self.config)
+        completions: list[float] = []
+        makespan = 0.0
+        admit_time = 0.0
+        completed = 0
+        issued = 0
+
+        def serve_one() -> None:
+            """Issue the request with the earliest feasible start."""
+            nonlocal makespan
+            best_start = float("inf")
+            best_channel: Channel | None = None
+            for channel in channels:
+                if not channel.has_work():
+                    continue
+                start = channel.next_start_estimate()
+                if start < best_start:
+                    best_start = start
+                    best_channel = channel
+            if best_channel is None:  # pragma: no cover - guarded by callers
+                raise SimulationError("no queued work to serve")
+            _req, done, _hit = best_channel.service_next(best_start)
+            heapq.heappush(completions, done)
+            makespan = max(makespan, done)
+
+        work_remaining = 0
+        for index in range(n):
+            # Admission control: wait for a window slot.
+            while issued - completed >= self.max_inflight:
+                if not completions:
+                    serve_one()
+                    work_remaining -= 1
+                else:
+                    admit_time = max(admit_time, heapq.heappop(completions))
+                    completed += 1
+            channel = channels[decoded.channel[index]]
+            channel.enqueue(
+                ChannelRequest(
+                    index=index,
+                    bank=int(decoded.bank[index]),
+                    row=int(decoded.row[index]),
+                    arrival_ns=admit_time,
+                )
+            )
+            issued += 1
+            work_remaining += 1
+
+        while work_remaining > 0:
+            serve_one()
+            work_remaining -= 1
+
+        per_channel_requests = np.array(
+            [channel.served for channel in channels], dtype=np.int64
+        )
+        per_channel_busy = np.array(
+            [channel.busy_ns for channel in channels], dtype=np.float64
+        )
+        hits = sum(bank.hits for channel in channels for bank in channel.banks)
+        misses = sum(bank.misses for channel in channels for bank in channel.banks)
+        return RunStats(
+            requests=n,
+            bytes_moved=n * self.config.line_bytes,
+            makespan_ns=makespan,
+            row_hits=hits,
+            row_misses=misses,
+            num_channels=num_channels,
+            per_channel_requests=per_channel_requests,
+            per_channel_busy_ns=per_channel_busy,
+        )

@@ -1,0 +1,76 @@
+"""Simulation statistics: bandwidth, CLP utilisation, row-hit rates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RunStats"]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Outcome of running one HA trace through a memory model.
+
+    ``clp_utilization`` is the share of total channel-time that was
+    actually busy: 1.0 means every channel worked for the whole run
+    (perfect channel-level parallelism), 1/num_channels means one
+    channel did all the work while the rest idled — the stride-32 worst
+    case of Fig. 3.
+    """
+
+    requests: int
+    bytes_moved: int
+    makespan_ns: float
+    row_hits: int
+    row_misses: int
+    num_channels: int
+    per_channel_requests: np.ndarray = field(repr=False)
+    per_channel_busy_ns: np.ndarray = field(repr=False)
+
+    @property
+    def throughput_gbps(self) -> float:
+        """GB/s (bytes per nanosecond)."""
+        if self.makespan_ns <= 0:
+            return 0.0
+        return self.bytes_moved / self.makespan_ns
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Row-buffer hits divided by total accesses."""
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def channels_touched(self) -> int:
+        """Channels that served at least one request."""
+        return int(np.count_nonzero(self.per_channel_requests))
+
+    @property
+    def clp_utilization(self) -> float:
+        """Busy channel-time over total channel-time."""
+        if self.makespan_ns <= 0:
+            return 0.0
+        busy = float(self.per_channel_busy_ns.sum())
+        return busy / (self.makespan_ns * self.num_channels)
+
+    @property
+    def request_balance(self) -> float:
+        """1.0 when requests split evenly across channels (entropy-based)."""
+        counts = self.per_channel_requests.astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        p = counts[counts > 0] / total
+        entropy = float(-(p * np.log2(p)).sum())
+        return entropy / np.log2(self.num_channels) if self.num_channels > 1 else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.requests} reqs, {self.throughput_gbps:.1f} GB/s, "
+            f"hit-rate {self.row_hit_rate:.2f}, "
+            f"CLP {self.clp_utilization:.2f} "
+            f"({self.channels_touched}/{self.num_channels} channels)"
+        )

@@ -1,0 +1,136 @@
+"""Binary buddy allocator over a power-of-two array of pages.
+
+Used at two levels, mirroring the paper's modified Linux: inside each
+chunk to hand out physical frames (so a chunk can serve many small
+mmaps), and conceptually at the chunk level — when every block in a
+chunk is free again, the chunk coalesces back to the global free list
+(Section 6.1, "we rely on the original Linux buddy allocator to free
+the chunks").
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError, OutOfMemoryError
+
+__all__ = ["BuddyAllocator"]
+
+
+class BuddyAllocator:
+    """Classic binary buddy over ``2**max_order`` pages."""
+
+    def __init__(self, max_order: int):
+        if max_order < 0:
+            raise AllocationError("max_order must be >= 0")
+        self.max_order = max_order
+        self.total_pages = 1 << max_order
+        # free_lists[order] = set of block offsets (in pages)
+        self._free_lists: list[set[int]] = [set() for _ in range(max_order + 1)]
+        self._free_lists[max_order].add(0)
+        self._allocated: dict[int, int] = {}  # offset -> order
+        self.free_pages = self.total_pages
+
+    @staticmethod
+    def order_for(pages: int) -> int:
+        """Smallest order whose block holds ``pages`` pages."""
+        if pages <= 0:
+            raise AllocationError("cannot size a block for <= 0 pages")
+        return max(0, (pages - 1).bit_length())
+
+    def alloc(self, order: int) -> int:
+        """Allocate a block of ``2**order`` pages; returns page offset."""
+        if order > self.max_order:
+            raise OutOfMemoryError(
+                f"order {order} exceeds allocator max {self.max_order}"
+            )
+        current = order
+        while current <= self.max_order and not self._free_lists[current]:
+            current += 1
+        if current > self.max_order:
+            raise OutOfMemoryError(f"no free block of order {order}")
+        offset = self._free_lists[current].pop()
+        while current > order:  # split down, freeing the upper buddy
+            current -= 1
+            buddy = offset + (1 << current)
+            self._free_lists[current].add(buddy)
+        self._allocated[offset] = order
+        self.free_pages -= 1 << order
+        return offset
+
+    def alloc_pages(self, pages: int) -> int:
+        """Allocate the smallest block covering ``pages`` pages."""
+        return self.alloc(self.order_for(pages))
+
+    def alloc_at(self, offset: int, order: int = 0) -> int:
+        """Allocate the block of ``2**order`` pages at exactly ``offset``.
+
+        Splits a containing free block down to the target.  Raises
+        :class:`OutOfMemoryError` if the target is (partly) in use.
+        Used by chunk colouring: the physical allocator starts each
+        mapping's frames at a different rotation inside the chunk.
+        """
+        if order > self.max_order:
+            raise OutOfMemoryError(f"order {order} exceeds max {self.max_order}")
+        if offset % (1 << order):
+            raise AllocationError(f"offset {offset} not aligned to order {order}")
+        current = order
+        while current <= self.max_order:
+            candidate = offset & ~((1 << current) - 1)
+            if candidate in self._free_lists[current]:
+                break
+            current += 1
+        else:
+            raise OutOfMemoryError(f"page {offset} is not free")
+        self._free_lists[current].remove(candidate)
+        while current > order:
+            current -= 1
+            half = 1 << current
+            if offset & half:
+                self._free_lists[current].add(candidate)
+                candidate += half
+            else:
+                self._free_lists[current].add(candidate + half)
+        self._allocated[offset] = order
+        self.free_pages -= 1 << order
+        return offset
+
+    def is_free(self, offset: int, order: int = 0) -> bool:
+        """True if the aligned block at ``offset`` is entirely free."""
+        current = order
+        while current <= self.max_order:
+            candidate = offset & ~((1 << current) - 1)
+            if candidate in self._free_lists[current]:
+                return True
+            current += 1
+        return False
+
+    def free(self, offset: int) -> None:
+        """Free a previously allocated block, coalescing buddies."""
+        try:
+            order = self._allocated.pop(offset)
+        except KeyError:
+            raise AllocationError(f"block at page {offset} is not allocated")
+        self.free_pages += 1 << order
+        while order < self.max_order:
+            buddy = offset ^ (1 << order)
+            if buddy not in self._free_lists[order]:
+                break
+            self._free_lists[order].remove(buddy)
+            offset = min(offset, buddy)
+            order += 1
+        self._free_lists[order].add(offset)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is allocated (the whole region is one block)."""
+        return not self._allocated
+
+    def allocated_blocks(self) -> dict[int, int]:
+        """Snapshot of live allocations: {page offset: order}."""
+        return dict(self._allocated)
+
+    def largest_free_order(self) -> int:
+        """Largest order with a free block, or -1 if full."""
+        for order in range(self.max_order, -1, -1):
+            if self._free_lists[order]:
+                return order
+        return -1

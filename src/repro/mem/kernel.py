@@ -1,0 +1,139 @@
+"""The kernel substrate: syscalls gluing VM, physical chunks and the CMT.
+
+Models the paper's Linux modifications (Table 4): the mapping-id
+argument threaded through ``mmap()``, the chunk-aware physical page
+allocator invoked from the page-fault handler, and the driver that
+writes chunk/mapping bindings into the hardware CMT.
+
+When constructed without an :class:`~repro.core.sdam.SDAMController`
+the kernel behaves like the baseline systems: the mapping-id argument
+is accepted (the ABI is unchanged) but every allocation lands in one
+global chunk group and no CMT writes happen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chunks import ChunkGeometry
+from repro.core.mapping import PermutationMapping
+from repro.core.sdam import SDAMController
+from repro.errors import ProfilingError
+from repro.mem.physical import PhysicalMemory
+from repro.mem.virtual import AddressSpace, VMArea
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """Minimal OS: processes, physical memory, SDAM control plane."""
+
+    def __init__(
+        self,
+        geometry: ChunkGeometry,
+        sdam: SDAMController | None = None,
+        chunk_colours: int = 8,
+    ):
+        self.geometry = geometry
+        self.sdam = sdam
+        self.physical = PhysicalMemory(
+            geometry,
+            on_chunk_assigned=self._chunk_assigned,
+            on_chunk_released=self._chunk_released,
+            chunk_colours=chunk_colours,
+        )
+        self._spaces: dict[int, AddressSpace] = {}
+        self._next_pid = 1
+        # mapping-id 0 is the boot default (identity), always present.
+        self._registered_mappings: dict[int, int] = {0: 0}
+
+    @property
+    def sdam_enabled(self) -> bool:
+        """True when an SDAM controller is attached."""
+        return self.sdam is not None
+
+    # -- CMT driver (Table 4's "Driver" rows) ------------------------------
+    def _chunk_assigned(self, chunk_no: int, mapping_id: int) -> None:
+        if self.sdam is not None:
+            self.sdam.assign_chunk(chunk_no, self._registered_mappings[mapping_id])
+
+    def _chunk_released(self, chunk_no: int) -> None:
+        if self.sdam is not None:
+            self.sdam.release_chunk(chunk_no)
+
+    # -- mapping registration (the add_addr_map() syscall backend) ----------
+    def add_addr_map(self, mapping) -> int:
+        """Register an address mapping; returns its mapping id.
+
+        ``mapping`` is a window permutation (array-like) or a full-width
+        :class:`PermutationMapping` restricted to the chunk window.  On a
+        baseline kernel the id is accepted but aliases the default.
+        """
+        if self.sdam is None:
+            return 0
+        hardware_index = self.sdam.register_mapping(mapping)
+        # Software mapping ids mirror the hardware table indices 1:1.
+        self._registered_mappings[hardware_index] = hardware_index
+        return hardware_index
+
+    def registered_mapping_ids(self) -> list[int]:
+        """Mapping ids registered via add_addr_map."""
+        return sorted(self._registered_mappings)
+
+    def full_mapping(self, mapping_id: int) -> PermutationMapping | None:
+        """Full-width permutation behind a mapping id (None on baseline)."""
+        if self.sdam is None:
+            return None
+        return self.sdam.full_mapping(self._registered_mappings[mapping_id])
+
+    # -- processes -----------------------------------------------------------
+    def spawn(self) -> AddressSpace:
+        """Create a process address space wired to the fault handler."""
+        pid = self._next_pid
+        self._next_pid += 1
+        space = AddressSpace(
+            page_bytes=self.geometry.page_bytes,
+            fault_handler=self._handle_fault,
+            pid=pid,
+        )
+        self._spaces[pid] = space
+        return space
+
+    def _handle_fault(self, mapping_id: int) -> int:
+        """Page-fault handler: allocate a frame from the right group."""
+        effective = mapping_id if self.sdam is not None else 0
+        if effective not in self._registered_mappings:
+            raise ProfilingError(
+                f"mapping id {mapping_id} was never registered via add_addr_map"
+            )
+        return self.physical.alloc_frame(effective)
+
+    # -- syscalls ---------------------------------------------------------------
+    def sys_mmap(
+        self,
+        space: AddressSpace,
+        length: int,
+        mapping_id: int = 0,
+        name: str = "",
+    ) -> VMArea:
+        """mmap with the paper's extra mapping-id argument."""
+        effective = mapping_id if self.sdam is not None else 0
+        if effective not in self._registered_mappings:
+            raise ProfilingError(
+                f"mapping id {mapping_id} was never registered via add_addr_map"
+            )
+        return space.mmap(length, mapping_id=effective, name=name)
+
+    def sys_munmap(self, space: AddressSpace, vma: VMArea) -> None:
+        """Tear down a mapping, freeing its frames."""
+        space.munmap(vma, free_frame=self.physical.free_frame)
+
+    # -- full translation pipeline ------------------------------------------
+    def translate_to_hardware(
+        self, space: AddressSpace, va: np.ndarray
+    ) -> np.ndarray:
+        """VA -> PA (page table) -> HA (SDAM or identity)."""
+        pa = space.translate_trace(va)
+        if self.sdam is None:
+            return pa
+        return self.sdam.translate(pa)

@@ -1,0 +1,145 @@
+"""Chunk remapping and live migration.
+
+Section 4: the OS "maintains pools of memory for each address mapping,
+and only reconfigures when memory is reclaimed or more memory with a
+specific mapping is requested".  Reconfiguring a *free* chunk is a pure
+CMT write; reconfiguring a chunk with live data additionally requires
+physically moving every allocated line from its old hardware location
+to the one the new mapping assigns — the cost this module models, so
+policies can decide when a remap amortises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AllocationError, CMTError
+from repro.hbm.config import HBMConfig, hbm2_config
+from repro.hbm.fastmodel import WindowModel
+from repro.mem.kernel import Kernel
+
+__all__ = ["MigrationReport", "ChunkMigrator"]
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of one chunk migration."""
+
+    chunk_no: int
+    old_mapping: int
+    new_mapping: int
+    lines_copied: int
+    cost_ns: float
+
+    @property
+    def cost_us(self) -> float:
+        """Copy cost in microseconds."""
+        return self.cost_ns / 1e3
+
+
+class ChunkMigrator:
+    """Remaps chunks, moving live data when necessary."""
+
+    def __init__(self, kernel: Kernel, hbm: HBMConfig | None = None):
+        if kernel.sdam is None:
+            raise CMTError("migration requires an SDAM-enabled kernel")
+        self.kernel = kernel
+        self.hbm = hbm or hbm2_config()
+        self._model = WindowModel(self.hbm, max_inflight=64)
+
+    # -- free chunks: reconfiguration is a table write ---------------------
+    def remap_free_capacity(self, mapping_id: int, chunks: int = 1) -> int:
+        """Pull chunks from the global free list into a mapping's group.
+
+        Free chunks carry no data, so this is the cheap path the paper
+        prefers: acquire + one CMT write each.  Returns the number of
+        chunks acquired.
+        """
+        acquired = 0
+        for _ in range(chunks):
+            if self.kernel.physical.free_chunk_count == 0:
+                break
+            self.kernel.physical.acquire_chunk(mapping_id)
+            acquired += 1
+        return acquired
+
+    # -- live chunks: data must move -----------------------------------------
+    def _allocated_lines(self, chunk) -> np.ndarray:
+        """PAs of every allocated cache line in the chunk."""
+        geometry = self.kernel.geometry
+        lines_per_page = geometry.page_bytes // geometry.line_bytes
+        pages = sorted(chunk.frames.allocated_blocks())
+        if not pages:
+            return np.zeros(0, dtype=np.uint64)
+        offsets = []
+        for page in pages:
+            start = page * lines_per_page
+            offsets.append(
+                np.arange(start, start + lines_per_page, dtype=np.uint64)
+            )
+        line_index = np.concatenate(offsets)
+        return np.uint64(chunk.base_pa) + line_index * np.uint64(
+            geometry.line_bytes
+        )
+
+    def migrate_chunk(self, chunk_no: int, new_mapping_id: int) -> MigrationReport:
+        """Switch a live chunk to a new mapping, copying its data.
+
+        Every allocated line is read through the old mapping and
+        written through the new one (the HA locations differ), after
+        which the CMT entry flips.  The returned report carries the
+        simulated copy cost so callers can weigh it against expected
+        future bandwidth gains.
+        """
+        sdam = self.kernel.sdam
+        physical = self.kernel.physical
+        chunk = physical._chunks.get(chunk_no)
+        if chunk is None:
+            raise AllocationError(f"chunk {chunk_no} is not live")
+        old_index = sdam.cmt.mapping_index_of(chunk_no)
+        if new_mapping_id == old_index:
+            return MigrationReport(chunk_no, old_index, new_mapping_id, 0, 0.0)
+        pa_lines = self._allocated_lines(chunk)
+        if pa_lines.size:
+            reads = sdam.translate(pa_lines)  # HAs under the old mapping
+            sdam.assign_chunk(chunk_no, new_mapping_id)
+            writes = sdam.translate(pa_lines)  # HAs under the new mapping
+            copy_trace = np.stack([reads, writes], axis=1).reshape(-1)
+            cost = self._model.simulate(copy_trace).makespan_ns
+        else:
+            sdam.assign_chunk(chunk_no, new_mapping_id)
+            cost = 0.0
+        # Keep the software-side group bookkeeping consistent.
+        if chunk.mapping_id is not None and chunk.mapping_id != new_mapping_id:
+            physical.group(chunk.mapping_id).remove(chunk)
+            physical.group(new_mapping_id).add(chunk)
+        return MigrationReport(
+            chunk_no=chunk_no,
+            old_mapping=old_index,
+            new_mapping=new_mapping_id,
+            lines_copied=int(pa_lines.size),
+            cost_ns=float(cost),
+        )
+
+    def migrate_group(
+        self, old_mapping_id: int, new_mapping_id: int
+    ) -> list[MigrationReport]:
+        """Move every chunk of one mapping group to another mapping."""
+        group = self.kernel.physical.group(old_mapping_id)
+        reports = []
+        for chunk in list(group.chunks):
+            reports.append(self.migrate_chunk(chunk.number, new_mapping_id))
+        return reports
+
+    def amortises_over(
+        self,
+        report: MigrationReport,
+        expected_accesses: int,
+        old_ns_per_access: float,
+        new_ns_per_access: float,
+    ) -> bool:
+        """Will the remap pay for itself over the expected accesses?"""
+        saving = expected_accesses * (old_ns_per_access - new_ns_per_access)
+        return saving > report.cost_ns

@@ -1,0 +1,245 @@
+"""Physical memory: chunks, chunk groups and the global free list.
+
+Section 6.1's physical page allocator: physical memory is carved into
+2 MB chunks; chunks with the same address mapping form a *chunk group*;
+a global free list holds unused chunks.  When a group needs memory it
+acquires chunks from the free list (notifying the hardware CMT through
+a callback), and when a chunk drains empty the buddy allocator coalesces
+it back to the free list.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.chunks import ChunkGeometry
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.mem.buddy import BuddyAllocator
+
+__all__ = ["Chunk", "ChunkGroup", "PhysicalMemory"]
+
+
+@dataclass
+class Chunk:
+    """One physical chunk with its intra-chunk frame allocator.
+
+    ``rotation_pages`` implements *chunk colouring*: frames are handed
+    out starting at a per-mapping rotation inside the chunk, so heaps
+    of different mappings do not all begin at chunk offset 0 (which
+    would pile every mapping's hottest data into the same DRAM bank).
+    """
+
+    number: int
+    geometry: ChunkGeometry
+    mapping_id: int | None = None
+    rotation_pages: int = 0
+    frames: BuddyAllocator = field(init=False)
+    _cursor: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        max_order = (self.geometry.pages_per_chunk - 1).bit_length()
+        self.frames = BuddyAllocator(max_order)
+        self._cursor = self.rotation_pages % self.geometry.pages_per_chunk
+
+    @property
+    def base_pa(self) -> int:
+        """First physical address of the chunk."""
+        return self.geometry.chunk_base(self.number)
+
+    @property
+    def free_pages(self) -> int:
+        """Unallocated frames remaining."""
+        return self.frames.free_pages
+
+    def alloc_frame(self) -> int:
+        """Allocate one frame; returns its physical address.
+
+        Frames are allocated in rotated sequential order from
+        ``rotation_pages``, wrapping around the chunk.
+        """
+        pages = self.geometry.pages_per_chunk
+        for _attempt in range(pages):
+            candidate = self._cursor
+            self._cursor = (self._cursor + 1) % pages
+            if self.frames.is_free(candidate):
+                offset = self.frames.alloc_at(candidate)
+                return self.base_pa + (offset << self.geometry.page_bits)
+        raise OutOfMemoryError(f"chunk {self.number} has no free frames")
+
+    def alloc_frames(self, count: int) -> list[int]:
+        """Allocate ``count`` frames (not necessarily contiguous)."""
+        return [self.alloc_frame() for _ in range(count)]
+
+    def free_frame(self, pa: int) -> None:
+        """Free one frame by physical address."""
+        offset = (pa - self.base_pa) >> self.geometry.page_bits
+        if not 0 <= offset < self.geometry.pages_per_chunk:
+            raise AllocationError(f"frame {pa:#x} not in chunk {self.number}")
+        self.frames.free(offset)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is allocated."""
+        return self.frames.is_empty
+
+
+class ChunkGroup:
+    """All chunks sharing one address mapping (one access pattern)."""
+
+    def __init__(self, mapping_id: int):
+        self.mapping_id = mapping_id
+        self.chunks: list[Chunk] = []
+
+    @property
+    def free_pages(self) -> int:
+        """Unallocated frames remaining."""
+        return sum(chunk.free_pages for chunk in self.chunks)
+
+    def chunk_with_space(self, pages: int = 1) -> Chunk | None:
+        """First chunk with at least the requested free pages."""
+        for chunk in self.chunks:
+            if chunk.free_pages >= pages:
+                return chunk
+        return None
+
+    def add(self, chunk: Chunk) -> None:
+        """Attach a chunk to this group."""
+        chunk.mapping_id = self.mapping_id
+        self.chunks.append(chunk)
+
+    def remove(self, chunk: Chunk) -> None:
+        """Detach a chunk from this group."""
+        self.chunks.remove(chunk)
+        chunk.mapping_id = None
+
+
+class PhysicalMemory:
+    """The machine's physical memory, managed at chunk granularity.
+
+    ``on_chunk_assigned(chunk_no, mapping_id)`` and
+    ``on_chunk_released(chunk_no)`` callbacks let the kernel program the
+    hardware CMT exactly when the paper's driver would.
+    """
+
+    def __init__(
+        self,
+        geometry: ChunkGeometry,
+        on_chunk_assigned: Callable[[int, int], None] | None = None,
+        on_chunk_released: Callable[[int], None] | None = None,
+        chunk_colours: int = 8,
+    ):
+        if chunk_colours < 1:
+            raise AllocationError("need at least one chunk colour")
+        self.geometry = geometry
+        self.chunk_colours = chunk_colours
+        self._free_chunks: deque[int] = deque(range(geometry.num_chunks))
+        self._chunks: dict[int, Chunk] = {}
+        self._groups: dict[int, ChunkGroup] = {}
+        self._frame_owner: dict[int, int] = {}  # frame PA -> chunk number
+        self.on_chunk_assigned = on_chunk_assigned
+        self.on_chunk_released = on_chunk_released
+        self.chunks_acquired = 0
+        self.chunks_released = 0
+
+    # -- chunk-level operations ------------------------------------------
+    @property
+    def free_chunk_count(self) -> int:
+        """Chunks on the global free list."""
+        return len(self._free_chunks)
+
+    def group(self, mapping_id: int) -> ChunkGroup:
+        """The chunk group for a mapping id (created on demand)."""
+        if mapping_id not in self._groups:
+            self._groups[mapping_id] = ChunkGroup(mapping_id)
+        return self._groups[mapping_id]
+
+    def acquire_chunk(self, mapping_id: int) -> Chunk:
+        """Move a chunk from the global free list into a mapping group."""
+        if not self._free_chunks:
+            raise OutOfMemoryError("no free chunks")
+        number = self._free_chunks.popleft()
+        # Chunk colouring: stagger each mapping's first frames so that
+        # different mappings' hot leading pages land in different banks.
+        rotation = (mapping_id % self.chunk_colours) * (
+            self.geometry.pages_per_chunk // self.chunk_colours
+        )
+        chunk = Chunk(
+            number=number, geometry=self.geometry, rotation_pages=rotation
+        )
+        self._chunks[number] = chunk
+        self.group(mapping_id).add(chunk)
+        self.chunks_acquired += 1
+        if self.on_chunk_assigned is not None:
+            self.on_chunk_assigned(number, mapping_id)
+        return chunk
+
+    def release_chunk(self, chunk: Chunk) -> None:
+        """Return an empty chunk to the global free list."""
+        if not chunk.is_empty:
+            raise AllocationError(
+                f"chunk {chunk.number} still has allocated frames"
+            )
+        if chunk.mapping_id is not None:
+            self.group(chunk.mapping_id).remove(chunk)
+        del self._chunks[chunk.number]
+        self._free_chunks.append(chunk.number)
+        self.chunks_released += 1
+        if self.on_chunk_released is not None:
+            self.on_chunk_released(chunk.number)
+
+    # -- frame-level operations --------------------------------------------
+    def alloc_frame(self, mapping_id: int) -> int:
+        """Allocate one physical frame with the given address mapping."""
+        group = self.group(mapping_id)
+        chunk = group.chunk_with_space()
+        if chunk is None:
+            chunk = self.acquire_chunk(mapping_id)
+        pa = chunk.alloc_frame()
+        self._frame_owner[pa] = chunk.number
+        return pa
+
+    def alloc_frames(self, count: int, mapping_id: int) -> list[int]:
+        """Allocate several frames with one mapping."""
+        return [self.alloc_frame(mapping_id) for _ in range(count)]
+
+    def free_frame(self, pa: int) -> None:
+        """Free a frame; empty chunks coalesce back to the free list."""
+        try:
+            chunk_no = self._frame_owner.pop(pa)
+        except KeyError:
+            raise AllocationError(f"frame {pa:#x} was not allocated")
+        chunk = self._chunks[chunk_no]
+        chunk.free_frame(pa)
+        if chunk.is_empty:
+            self.release_chunk(chunk)
+
+    # -- accounting -----------------------------------------------------------
+    def frames_in_use(self) -> int:
+        """Allocated frames across all chunks."""
+        return len(self._frame_owner)
+
+    def internal_fragmentation_pages(self) -> int:
+        """Free pages stranded inside partially used chunks.
+
+        The Section 4 bound: at most one partially-filled chunk per
+        mapping (access pattern), so waste is bounded by the number of
+        patterns, not the number of chunks.
+        """
+        return sum(
+            chunk.free_pages for chunk in self._chunks.values()
+        )
+
+    def mapping_of_chunk(self, chunk_no: int) -> int | None:
+        """Mapping id owning a chunk, or None if free."""
+        chunk = self._chunks.get(chunk_no)
+        return None if chunk is None else chunk.mapping_id
+
+    def live_groups(self) -> dict[int, int]:
+        """{mapping_id: chunk count} for groups that hold chunks."""
+        return {
+            mapping_id: len(group.chunks)
+            for mapping_id, group in self._groups.items()
+            if group.chunks
+        }

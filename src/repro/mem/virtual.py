@@ -1,0 +1,153 @@
+"""Per-process virtual memory: VMAs, page table, on-demand paging.
+
+The paper stores the address-mapping id in ``vm_area_struct`` and moves
+chunk-aware frame allocation into the page-fault handler (Section 6.1);
+:class:`AddressSpace` models exactly that.  VA-to-PA translation is
+untouched by SDAM — a normal page table — which is what guarantees
+functional correctness (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import AddressError, AllocationError
+
+__all__ = ["VMArea", "AddressSpace"]
+
+# Virtual address space starts well above zero so a null pointer faults.
+VA_BASE = 0x0000_1000_0000
+VA_LIMIT = 1 << 47
+
+
+@dataclass
+class VMArea:
+    """A ``vm_area_struct``: one mmap'ed region with its mapping id."""
+
+    start: int
+    end: int
+    mapping_id: int
+    name: str = ""
+    faults: int = field(default=0)
+
+    def __contains__(self, va: int) -> bool:
+        return self.start <= va < self.end
+
+    @property
+    def length(self) -> int:
+        """Region length in bytes."""
+        return self.end - self.start
+
+
+class AddressSpace:
+    """One process's virtual address space.
+
+    ``fault_handler(mapping_id) -> frame_pa`` is supplied by the kernel;
+    it is invoked on first touch of each page (on-demand paging).
+    """
+
+    def __init__(
+        self,
+        page_bytes: int,
+        fault_handler: Callable[[int], int],
+        pid: int = 0,
+    ):
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise AllocationError("page size must be a power of two")
+        self.page_bytes = page_bytes
+        self.page_bits = page_bytes.bit_length() - 1
+        self.pid = pid
+        self._fault_handler = fault_handler
+        self._vmas: list[VMArea] = []
+        self._page_table: dict[int, int] = {}  # vpn -> frame PA
+        self._next_va = VA_BASE
+        self.total_faults = 0
+
+    # -- VMA management -----------------------------------------------------
+    def mmap(self, length: int, mapping_id: int = 0, name: str = "") -> VMArea:
+        """Create an anonymous mapping; pages populate on first touch."""
+        if length <= 0:
+            raise AllocationError("mmap length must be positive")
+        pages = -(-length // self.page_bytes)
+        start = self._next_va
+        end = start + pages * self.page_bytes
+        if end > VA_LIMIT:
+            raise AllocationError("virtual address space exhausted")
+        self._next_va = end + self.page_bytes  # guard page between VMAs
+        vma = VMArea(start=start, end=end, mapping_id=mapping_id, name=name)
+        self._vmas.append(vma)
+        return vma
+
+    def munmap(self, vma: VMArea, free_frame: Callable[[int], None]) -> None:
+        """Tear down a mapping, freeing any populated frames."""
+        if vma not in self._vmas:
+            raise AddressError("VMA does not belong to this address space")
+        first_vpn = vma.start >> self.page_bits
+        last_vpn = (vma.end - 1) >> self.page_bits
+        for vpn in range(first_vpn, last_vpn + 1):
+            frame = self._page_table.pop(vpn, None)
+            if frame is not None:
+                free_frame(frame)
+        self._vmas.remove(vma)
+
+    def find_vma(self, va: int) -> VMArea:
+        """The VMA containing an address, or segfault."""
+        for vma in self._vmas:
+            if va in vma:
+                return vma
+        raise AddressError(f"segmentation fault: {va:#x} is unmapped")
+
+    @property
+    def vmas(self) -> list[VMArea]:
+        """All VMAs in the address space."""
+        return list(self._vmas)
+
+    # -- faults and translation ------------------------------------------------
+    def _fault(self, vpn: int) -> int:
+        va = vpn << self.page_bits
+        vma = self.find_vma(va)
+        frame = self._fault_handler(vma.mapping_id)
+        self._page_table[vpn] = frame
+        vma.faults += 1
+        self.total_faults += 1
+        return frame
+
+    def translate(self, va: int) -> int:
+        """Translate one VA, faulting the page in if needed."""
+        vpn = int(va) >> self.page_bits
+        frame = self._page_table.get(vpn)
+        if frame is None:
+            frame = self._fault(vpn)
+        return frame | (int(va) & (self.page_bytes - 1))
+
+    def translate_trace(self, va: np.ndarray) -> np.ndarray:
+        """Vectorised translation of a whole VA trace.
+
+        Unique pages are resolved (faulting as needed) once; the trace is
+        then translated with one gather.
+        """
+        va = np.asarray(va, dtype=np.uint64)
+        if va.size == 0:
+            return va.copy()
+        vpn = va >> np.uint64(self.page_bits)
+        unique_vpns, inverse = np.unique(vpn, return_inverse=True)
+        frames = np.empty(unique_vpns.size, dtype=np.uint64)
+        for position, page in enumerate(unique_vpns.tolist()):
+            frame = self._page_table.get(page)
+            if frame is None:
+                frame = self._fault(page)
+            frames[position] = frame
+        offset = va & np.uint64(self.page_bytes - 1)
+        return frames[inverse] | offset
+
+    # -- introspection -------------------------------------------------------
+    def resident_pages(self) -> int:
+        """Pages with frames mapped in."""
+        return len(self._page_table)
+
+    def frame_of(self, va: int) -> int | None:
+        """Frame backing ``va`` or None if not yet faulted in."""
+        return self._page_table.get(int(va) >> self.page_bits)

@@ -1,0 +1,29 @@
+"""Machine-learning substrate: K-Means and the DL-assisted pipeline."""
+
+from repro.ml.adam import Adam
+from repro.ml.dlkmeans import (
+    AutoencoderConfig,
+    DLAssistedKMeans,
+    DLClusterResult,
+    EmbeddingAutoencoder,
+    paper_hyperparameters,
+)
+from repro.ml.embedding import DeltaVocabulary, Embedding
+from repro.ml.kmeans import KMeans, KMeansResult
+from repro.ml.lstm import LSTMCell, LSTMLayer, sigmoid
+
+__all__ = [
+    "Adam",
+    "AutoencoderConfig",
+    "DLAssistedKMeans",
+    "DLClusterResult",
+    "DeltaVocabulary",
+    "Embedding",
+    "EmbeddingAutoencoder",
+    "KMeans",
+    "KMeansResult",
+    "LSTMCell",
+    "LSTMLayer",
+    "paper_hyperparameters",
+    "sigmoid",
+]

@@ -1,0 +1,334 @@
+"""DL-assisted K-Means: the embedding LSTM autoencoder of Section 6.2.
+
+The model (Fig. 9): each access is a (delta, VID) pair; delta and VID
+are separately embedded, concatenated, and fed to an LSTM encoder whose
+final hidden state is the sequence *embedding*.  A decoder LSTM
+reconstructs the delta bit-vectors from the embedding; training first
+minimises the reconstruction loss (Eq. 3), then continues jointly with
+``L_total = L_reconstruct + lambda * L_cluster`` pulling embeddings
+toward their K-Means centroids — the clustering-friendly-representation
+trick the paper adopts from the deep-clustering literature.
+
+Defaults are laptop-sized; ``paper_hyperparameters()`` returns the
+Table 2 values for a full-scale run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ml.adam import Adam
+from repro.ml.embedding import DeltaVocabulary, Embedding
+from repro.ml.kmeans import KMeans
+from repro.ml.lstm import LSTMLayer, sigmoid
+
+__all__ = [
+    "AutoencoderConfig",
+    "EmbeddingAutoencoder",
+    "DLAssistedKMeans",
+    "DLClusterResult",
+    "paper_hyperparameters",
+]
+
+
+@dataclass(frozen=True)
+class AutoencoderConfig:
+    """Model + training sizes (Table 2, scaled down by default)."""
+
+    sequence_length: int = 32  # Table 2
+    delta_embed_dim: int = 16
+    vid_embed_dim: int = 4
+    hidden_dim: int = 32
+    delta_vocab: int = 256
+    pretrain_steps: int = 120
+    joint_steps: int = 60
+    batch_size: int = 32
+    learning_rate: float = 0.001  # Table 2
+    cluster_weight: float = 0.01  # Table 2's lambda
+    centroid_refresh: int = 20
+    seed: int = 0
+
+
+def paper_hyperparameters() -> AutoencoderConfig:
+    """The Table 2 configuration (256-dim, 500k steps)."""
+    return AutoencoderConfig(
+        sequence_length=32,
+        delta_embed_dim=128,
+        vid_embed_dim=128,
+        hidden_dim=256,
+        pretrain_steps=400_000,
+        joint_steps=100_000,
+        learning_rate=0.001,
+        cluster_weight=0.01,
+    )
+
+
+class EmbeddingAutoencoder:
+    """The Fig. 9 network: embeddings -> encoder LSTM -> decoder LSTM."""
+
+    def __init__(
+        self,
+        delta_vocab_size: int,
+        num_variables: int,
+        target_bits: int,
+        config: AutoencoderConfig,
+    ):
+        if target_bits < 1:
+            raise TrainingError("need at least one target bit")
+        self.config = config
+        self.target_bits = target_bits
+        rng = np.random.default_rng(config.seed)
+        self.params: dict[str, np.ndarray] = {}
+        self.delta_embedding = Embedding(
+            delta_vocab_size, config.delta_embed_dim, self.params, "delta", rng
+        )
+        self.vid_embedding = Embedding(
+            max(1, num_variables), config.vid_embed_dim, self.params, "vid", rng
+        )
+        input_dim = config.delta_embed_dim + config.vid_embed_dim
+        self.encoder = LSTMLayer(
+            input_dim, config.hidden_dim, self.params, "enc", rng
+        )
+        self.decoder = LSTMLayer(
+            config.hidden_dim, config.hidden_dim, self.params, "dec", rng
+        )
+        scale = 1.0 / np.sqrt(config.hidden_dim)
+        self.params["out.W"] = rng.normal(
+            0, scale, (config.hidden_dim, target_bits)
+        )
+        self.params["out.b"] = np.zeros(target_bits)
+
+    def forward(self, delta_ids: np.ndarray, vid_ids: np.ndarray):
+        """Compute embeddings and reconstructions.
+
+        Returns ``(z, reconstruction, cache)`` with ``z`` of shape
+        (batch, hidden) and ``reconstruction`` (batch, time, bits).
+        """
+        delta_vectors = self.delta_embedding.forward(delta_ids)
+        vid_vectors = self.vid_embedding.forward(vid_ids)
+        x = np.concatenate([delta_vectors, vid_vectors], axis=2)
+        _enc_out, z, enc_caches = self.encoder.forward(x)
+        batch, steps = delta_ids.shape
+        decoder_input = np.repeat(z[:, None, :], steps, axis=1)
+        dec_out, _h, dec_caches = self.decoder.forward(decoder_input)
+        logits = dec_out @ self.params["out.W"] + self.params["out.b"]
+        reconstruction = sigmoid(logits)
+        cache = (delta_ids, vid_ids, enc_caches, dec_caches, dec_out, reconstruction)
+        return z, reconstruction, cache
+
+    def embed(self, delta_ids: np.ndarray, vid_ids: np.ndarray) -> np.ndarray:
+        """Embeddings only (no decoder pass needed for inference)."""
+        delta_vectors = self.delta_embedding.forward(delta_ids)
+        vid_vectors = self.vid_embedding.forward(vid_ids)
+        x = np.concatenate([delta_vectors, vid_vectors], axis=2)
+        _out, z, _caches = self.encoder.forward(x)
+        return z
+
+    @staticmethod
+    def reconstruction_loss(
+        reconstruction: np.ndarray, targets: np.ndarray
+    ) -> float:
+        """Mean L1 over delta bits (Eq. 3, normalised)."""
+        return float(np.abs(reconstruction - targets).mean())
+
+    def backward(
+        self,
+        cache,
+        targets: np.ndarray,
+        dz_extra: np.ndarray | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Gradients of L1 reconstruction loss (+ optional dL/dz term)."""
+        delta_ids, vid_ids, enc_caches, dec_caches, dec_out, recon = cache
+        grads: dict[str, np.ndarray] = {}
+        n = recon.size
+        d_recon = np.sign(recon - targets) / n
+        d_logits = d_recon * recon * (1 - recon)
+        flat_dec = dec_out.reshape(-1, dec_out.shape[2])
+        flat_dlogits = d_logits.reshape(-1, d_logits.shape[2])
+        grads["out.W"] = flat_dec.T @ flat_dlogits
+        grads["out.b"] = flat_dlogits.sum(axis=0)
+        d_dec_out = d_logits @ self.params["out.W"].T
+        d_dec_in, _dh0 = self.decoder.backward(d_dec_out, None, dec_caches, grads)
+        dz = d_dec_in.sum(axis=1)
+        if dz_extra is not None:
+            dz = dz + dz_extra
+        dx, _dh0 = self.encoder.backward(None, dz, enc_caches, grads)
+        split = self.config.delta_embed_dim
+        self.delta_embedding.backward(delta_ids, dx[:, :, :split], grads)
+        self.vid_embedding.backward(vid_ids, dx[:, :, split:], grads)
+        return grads
+
+
+@dataclass
+class DLClusterResult:
+    """Outcome of the DL-assisted clustering pipeline."""
+
+    labels: np.ndarray  # cluster id per input variable (profile order)
+    embeddings: np.ndarray  # (num_variables, hidden)
+    centroids: np.ndarray
+    loss_history: list[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    vocab_coverage: float = 0.0
+
+
+class DLAssistedKMeans:
+    """End-to-end DL-assisted clustering over per-variable delta traces."""
+
+    def __init__(self, k: int, config: AutoencoderConfig | None = None):
+        if k < 1:
+            raise TrainingError("k must be >= 1")
+        self.k = k
+        self.config = config or AutoencoderConfig()
+
+    # -- dataset construction ------------------------------------------------
+    def _build_dataset(
+        self,
+        delta_traces: list[np.ndarray],
+        window: tuple[int, int],
+    ):
+        """Chop per-variable delta traces into fixed-length sequences."""
+        length = self.config.sequence_length
+        low, high = window
+        bits = high - low
+        all_deltas = (
+            np.concatenate([d for d in delta_traces if d.size])
+            if any(d.size for d in delta_traces)
+            else np.zeros(0, dtype=np.uint64)
+        )
+        vocab = DeltaVocabulary(self.config.delta_vocab).fit(all_deltas)
+        sequences: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for variable_index, deltas in enumerate(delta_traces):
+            if deltas.size == 0:
+                continue
+            if deltas.size < length:  # pad short traces by tiling
+                reps = -(-length // deltas.size)
+                deltas = np.tile(deltas, reps)
+            usable = (deltas.size // length) * length
+            ids = vocab.encode(deltas[:usable]).reshape(-1, length)
+            shifts = np.arange(low, high, dtype=np.uint64)
+            bit_targets = (
+                (deltas[:usable, None] >> shifts) & np.uint64(1)
+            ).astype(np.float64)
+            bit_targets = bit_targets.reshape(-1, length, bits)
+            for row in range(ids.shape[0]):
+                sequences.append((variable_index, ids[row], bit_targets[row]))
+        if not sequences:
+            raise TrainingError("no delta sequences to train on")
+        return vocab, sequences
+
+    @staticmethod
+    def _batch(sequences, indices):
+        variable_index = np.array([sequences[i][0] for i in indices])
+        delta_ids = np.stack([sequences[i][1] for i in indices])
+        targets = np.stack([sequences[i][2] for i in indices])
+        vid_ids = np.repeat(
+            variable_index[:, None], delta_ids.shape[1], axis=1
+        )
+        return variable_index, delta_ids, vid_ids, targets
+
+    def _variable_embeddings(
+        self, model: EmbeddingAutoencoder, sequences, num_variables: int
+    ) -> np.ndarray:
+        sums = np.zeros((num_variables, self.config.hidden_dim))
+        counts = np.zeros(num_variables)
+        batch = self.config.batch_size
+        for start in range(0, len(sequences), batch):
+            indices = range(start, min(start + batch, len(sequences)))
+            variable_index, delta_ids, vid_ids, _targets = self._batch(
+                sequences, list(indices)
+            )
+            z = model.embed(delta_ids, vid_ids)
+            np.add.at(sums, variable_index, z)
+            np.add.at(counts, variable_index, 1)
+        counts[counts == 0] = 1
+        return sums / counts[:, None]
+
+    # -- training -------------------------------------------------------------
+    def fit(
+        self,
+        delta_traces: list[np.ndarray],
+        window: tuple[int, int] = (6, 21),
+    ) -> DLClusterResult:
+        """Cluster variables given their delta traces.
+
+        ``delta_traces[i]`` is the XOR-delta trace of variable ``i``;
+        the returned labels align with that list.
+        """
+        start_time = time.perf_counter()
+        num_variables = len(delta_traces)
+        if num_variables == 0:
+            raise TrainingError("no variables to cluster")
+        config = self.config
+        vocab, sequences = self._build_dataset(delta_traces, window)
+        model = EmbeddingAutoencoder(
+            delta_vocab_size=vocab.size,
+            num_variables=num_variables,
+            target_bits=window[1] - window[0],
+            config=config,
+        )
+        optimizer = Adam(model.params, lr=config.learning_rate)
+        rng = np.random.default_rng(config.seed)
+        history: list[float] = []
+
+        def training_step(dz_fn=None) -> float:
+            """One minibatch update; returns the loss."""
+            indices = rng.integers(0, len(sequences), config.batch_size)
+            variable_index, delta_ids, vid_ids, targets = self._batch(
+                sequences, indices.tolist()
+            )
+            z, reconstruction, cache = model.forward(delta_ids, vid_ids)
+            loss = model.reconstruction_loss(reconstruction, targets)
+            dz_extra = None
+            if dz_fn is not None:
+                dz_extra, cluster_loss = dz_fn(z)
+                loss += cluster_loss
+            grads = model.backward(cache, targets, dz_extra=dz_extra)
+            optimizer.step(grads)
+            return loss
+
+        # Phase 1: pure reconstruction pre-training (Eq. 3).
+        for _step in range(config.pretrain_steps):
+            history.append(training_step())
+
+        # Phase 2: joint reconstruction + clustering loss.
+        effective_k = min(self.k, num_variables)
+        embeddings = self._variable_embeddings(model, sequences, num_variables)
+        centroids = KMeans(effective_k, seed=config.seed).fit(embeddings).centroids
+
+        def cluster_gradient(z: np.ndarray):
+            """dL/dz and loss of the clustering term."""
+            assignment = KMeans.assign(z, centroids)
+            residual = z - centroids[assignment]
+            loss = config.cluster_weight * float((residual**2).mean())
+            dz = 2 * config.cluster_weight * residual / z.size
+            return dz, loss
+
+        for step in range(config.joint_steps):
+            history.append(training_step(cluster_gradient))
+            if (step + 1) % config.centroid_refresh == 0:
+                embeddings = self._variable_embeddings(
+                    model, sequences, num_variables
+                )
+                centroids = (
+                    KMeans(effective_k, seed=config.seed).fit(embeddings).centroids
+                )
+
+        embeddings = self._variable_embeddings(model, sequences, num_variables)
+        final = KMeans(effective_k, seed=config.seed).fit(embeddings)
+        all_deltas = (
+            np.concatenate([d for d in delta_traces if d.size])
+            if any(d.size for d in delta_traces)
+            else np.zeros(0, dtype=np.uint64)
+        )
+        return DLClusterResult(
+            labels=final.labels,
+            embeddings=embeddings,
+            centroids=final.centroids,
+            loss_history=history,
+            elapsed_seconds=time.perf_counter() - start_time,
+            vocab_coverage=vocab.coverage(all_deltas),
+        )

@@ -1,0 +1,95 @@
+"""Embedding layers for the (delta, VID) input pairs (Fig. 9).
+
+The address delta is a categorical value (the XOR of two consecutive
+addresses); a vocabulary keeps the most frequent deltas and buckets the
+rest into an out-of-vocabulary id, as learned-prefetching work does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+__all__ = ["Embedding", "DeltaVocabulary"]
+
+
+class Embedding:
+    """A lookup table with sparse gradient accumulation."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        dim: int,
+        params: dict[str, np.ndarray],
+        prefix: str,
+        rng: np.random.Generator,
+    ):
+        if vocab_size < 1 or dim < 1:
+            raise TrainingError("vocab size and dim must be positive")
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.prefix = prefix
+        params[f"{prefix}.table"] = rng.normal(0, 0.1, (vocab_size, dim))
+        self.params = params
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        """Look up / compute the layer's forward pass."""
+        ids = np.asarray(ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise TrainingError("embedding id out of range")
+        return self.params[f"{self.prefix}.table"][ids]
+
+    def backward(
+        self, ids: np.ndarray, d_vectors: np.ndarray, grads: dict[str, np.ndarray]
+    ) -> None:
+        """Accumulate gradients for the layer's backward pass."""
+        key = f"{self.prefix}.table"
+        grads.setdefault(key, np.zeros_like(self.params[key]))
+        flat_ids = np.asarray(ids).reshape(-1)
+        flat_grad = d_vectors.reshape(-1, self.dim)
+        np.add.at(grads[key], flat_ids, flat_grad)
+
+
+class DeltaVocabulary:
+    """Top-K address deltas -> dense ids; everything else -> OOV (id 0)."""
+
+    OOV = 0
+
+    def __init__(self, max_size: int = 256):
+        if max_size < 2:
+            raise TrainingError("vocabulary needs room for OOV plus one delta")
+        self.max_size = max_size
+        self._ids: dict[int, int] = {}
+
+    def fit(self, deltas: np.ndarray) -> "DeltaVocabulary":
+        """Fit to the given data; returns self or the result."""
+        counts = Counter(np.asarray(deltas, dtype=np.uint64).tolist())
+        most_common = counts.most_common(self.max_size - 1)
+        self._ids = {
+            delta: index + 1 for index, (delta, _count) in enumerate(most_common)
+        }
+        return self
+
+    @property
+    def size(self) -> int:
+        """Heap length in bytes."""
+        return len(self._ids) + 1
+
+    def encode(self, deltas: np.ndarray) -> np.ndarray:
+        """Map raw values to vocabulary ids (OOV for unknown)."""
+        ids = np.fromiter(
+            (self._ids.get(int(d), self.OOV) for d in np.asarray(deltas)),
+            dtype=np.int64,
+            count=len(deltas),
+        )
+        return ids
+
+    def coverage(self, deltas: np.ndarray) -> float:
+        """Fraction of deltas that map to a real (non-OOV) id."""
+        if len(deltas) == 0:
+            return 0.0
+        ids = self.encode(deltas)
+        return float((ids != self.OOV).mean())

@@ -1,0 +1,129 @@
+"""Lloyd's K-Means with k-means++ seeding (Equation 2).
+
+The fast mapping-selection path (Section 6.2): cluster per-variable
+bit-flip-rate vectors, then derive one address mapping per cluster
+centroid.  Implemented from scratch on numpy — no scikit-learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+__all__ = ["KMeans", "KMeansResult"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Fit outcome: assignments, centroids and the clustering loss."""
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centroids.shape[0]
+
+
+class KMeans:
+    """Standard Lloyd iteration; deterministic given the seed."""
+
+    def __init__(
+        self,
+        k: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int = 0,
+        n_init: int = 4,
+    ):
+        if k < 1:
+            raise TrainingError("k must be >= 1")
+        self.k = k
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.n_init = n_init
+
+    # -- internals -------------------------------------------------------
+    @staticmethod
+    def _squared_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        diff = points[:, None, :] - centroids[None, :, :]
+        return np.einsum("nkd,nkd->nk", diff, diff)
+
+    def _init_plusplus(self, points: np.ndarray, rng: np.random.Generator):
+        n = points.shape[0]
+        centroids = np.empty((self.k, points.shape[1]))
+        centroids[0] = points[rng.integers(n)]
+        closest = ((points - centroids[0]) ** 2).sum(axis=1)
+        for index in range(1, self.k):
+            total = closest.sum()
+            if total <= 0:
+                centroids[index] = points[rng.integers(n)]
+            else:
+                probabilities = closest / total
+                choice = rng.choice(n, p=probabilities)
+                centroids[index] = points[choice]
+            distance = ((points - centroids[index]) ** 2).sum(axis=1)
+            closest = np.minimum(closest, distance)
+        return centroids
+
+    def _run_once(self, points: np.ndarray, rng: np.random.Generator) -> KMeansResult:
+        centroids = self._init_plusplus(points, rng)
+        labels = np.zeros(points.shape[0], dtype=np.int64)
+        inertia = np.inf
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            distances = self._squared_distances(points, centroids)
+            labels = distances.argmin(axis=1)
+            new_inertia = float(distances[np.arange(len(labels)), labels].sum())
+            for cluster in range(self.k):
+                members = points[labels == cluster]
+                if members.size:
+                    centroids[cluster] = members.mean(axis=0)
+                else:
+                    # Reseed an empty cluster at the farthest point.
+                    farthest = distances.min(axis=1).argmax()
+                    centroids[cluster] = points[farthest]
+            if inertia - new_inertia < self.tol * max(inertia, 1.0):
+                inertia = new_inertia
+                break
+            inertia = new_inertia
+        return KMeansResult(
+            labels=labels,
+            centroids=centroids,
+            inertia=inertia,
+            iterations=iteration,
+        )
+
+    # -- public API -------------------------------------------------------
+    def fit(self, points: np.ndarray) -> KMeansResult:
+        """Cluster row vectors; returns the best of ``n_init`` restarts."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise TrainingError("need a non-empty 2-D array of points")
+        if points.shape[0] < self.k:
+            raise TrainingError(
+                f"cannot form {self.k} clusters from {points.shape[0]} points"
+            )
+        rng = np.random.default_rng(self.seed)
+        best: KMeansResult | None = None
+        for _restart in range(self.n_init):
+            result = self._run_once(points, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    @staticmethod
+    def assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        """Nearest-centroid labels for new points."""
+        distances = KMeans._squared_distances(
+            np.asarray(points, dtype=np.float64), centroids
+        )
+        return distances.argmin(axis=1)

@@ -1,0 +1,58 @@
+"""Bit-flip-rate vectors (Equation 1).
+
+For a physical-address trace ``a_1 .. a_n``, the flip rate of bit *i* is
+the fraction of consecutive pairs in which bit *i* differs:
+
+    bfr_i = (1/n) * sum_j  bit_i(a_j) XOR bit_i(a_{j+1})
+
+Bits that flip often separate *temporally adjacent* accesses, so routing
+them to the channel field spreads concurrent requests across channels —
+the selection rule shared by Experiment 1 (Fig. 3b) and the bit-shuffle
+configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProfilingError
+
+__all__ = ["bit_flip_rate_vector", "window_flip_rates", "dominant_flip_bit"]
+
+
+def bit_flip_rate_vector(
+    addresses: np.ndarray,
+    num_bits: int,
+    bit_offset: int = 0,
+) -> np.ndarray:
+    """Flip rate of ``num_bits`` address bits starting at ``bit_offset``.
+
+    Returns a float vector of length ``num_bits`` (index 0 = bit
+    ``bit_offset``).  A trace with fewer than two accesses has no
+    consecutive pairs and yields all-zero rates.
+    """
+    if num_bits <= 0:
+        raise ProfilingError("num_bits must be positive")
+    addresses = np.asarray(addresses, dtype=np.uint64)
+    if addresses.size < 2:
+        return np.zeros(num_bits)
+    diffs = addresses[1:] ^ addresses[:-1]
+    rates = np.empty(num_bits)
+    for bit in range(num_bits):
+        shift = np.uint64(bit_offset + bit)
+        rates[bit] = float(((diffs >> shift) & np.uint64(1)).mean())
+    return rates
+
+
+def window_flip_rates(addresses: np.ndarray, window: tuple[int, int]) -> np.ndarray:
+    """Flip rates for the chunk-offset window ``[low, high)``."""
+    low, high = window
+    if high <= low:
+        raise ProfilingError("empty bit window")
+    return bit_flip_rate_vector(addresses, num_bits=high - low, bit_offset=low)
+
+
+def dominant_flip_bit(addresses: np.ndarray, num_bits: int, bit_offset: int = 0) -> int:
+    """Absolute position of the hottest bit (Fig. 3b's peak)."""
+    rates = bit_flip_rate_vector(addresses, num_bits, bit_offset)
+    return bit_offset + int(np.argmax(rates))

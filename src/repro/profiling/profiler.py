@@ -1,0 +1,137 @@
+"""Trace profiling: per-variable sub-traces and major-variable statistics.
+
+Implements Section 6.2's offline profiling pass and the Experiment 3
+analysis behind Table 1: split the external-memory trace into
+per-variable sub-traces, count references, measure footprints, and find
+the *major variables* — the smallest set covering 80 % of references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.trace import AccessTrace
+from repro.errors import ProfilingError
+from repro.profiling.bfrv import bit_flip_rate_vector, window_flip_rates
+from repro.profiling.variables import UNATTRIBUTED, VariableRegistry
+
+__all__ = ["VariableProfile", "WorkloadProfile", "profile_trace"]
+
+MAJOR_COVERAGE = 0.8  # "variables that comprise 80% of references"
+
+
+@dataclass
+class VariableProfile:
+    """Profiling result for one variable."""
+
+    variable_id: int
+    name: str
+    size_bytes: int
+    references: int
+    addresses: np.ndarray  # the variable's sub-trace (addresses only)
+
+    def flip_rates(self, num_bits: int, bit_offset: int = 0) -> np.ndarray:
+        """Bit-flip rates of this variable's sub-trace."""
+        return bit_flip_rate_vector(self.addresses, num_bits, bit_offset)
+
+    def window_flip_rates(self, window: tuple[int, int]) -> np.ndarray:
+        """Flip rates over the chunk-offset window."""
+        return window_flip_rates(self.addresses, window)
+
+    def delta_trace(self) -> np.ndarray:
+        """XOR deltas between consecutive accesses (the DL model input)."""
+        if self.addresses.size < 2:
+            return np.zeros(0, dtype=np.uint64)
+        return self.addresses[1:] ^ self.addresses[:-1]
+
+
+@dataclass
+class WorkloadProfile:
+    """All per-variable profiles for one workload run."""
+
+    name: str
+    profiles: list[VariableProfile]
+    total_references: int
+
+    def __post_init__(self) -> None:
+        self.profiles.sort(key=lambda p: (-p.references, p.variable_id))
+
+    @property
+    def num_variables(self) -> int:
+        """Distinct profiled variables."""
+        return len(self.profiles)
+
+    def major_variables(
+        self, coverage: float = MAJOR_COVERAGE
+    ) -> list[VariableProfile]:
+        """Smallest prefix (by reference count) covering the target share."""
+        if not 0 < coverage <= 1:
+            raise ProfilingError("coverage must be in (0, 1]")
+        majors: list[VariableProfile] = []
+        accumulated = 0
+        threshold = coverage * self.total_references
+        for profile in self.profiles:
+            if accumulated >= threshold:
+                break
+            majors.append(profile)
+            accumulated += profile.references
+        return majors
+
+    def table1_row(self) -> dict[str, float]:
+        """The Table 1 statistics for this workload."""
+        majors = self.major_variables()
+        sizes_mb = [p.size_bytes / 1e6 for p in majors]
+        return {
+            "benchmark": self.name,
+            "num_variables": self.num_variables,
+            "num_major_variables": len(majors),
+            "avg_major_size_mb": float(np.mean(sizes_mb)) if sizes_mb else 0.0,
+            "min_major_size_mb": float(np.min(sizes_mb)) if sizes_mb else 0.0,
+        }
+
+    def by_name(self, name: str) -> VariableProfile:
+        """Profile of a variable by name."""
+        for profile in self.profiles:
+            if profile.name == name:
+                return profile
+        raise ProfilingError(f"no profile for variable {name!r}")
+
+
+def profile_trace(
+    trace: AccessTrace,
+    registry: VariableRegistry,
+    name: str = "",
+    use_tags: bool = True,
+) -> WorkloadProfile:
+    """Split a trace per variable and build a workload profile.
+
+    If the trace carries variable tags (the workload models set them)
+    and ``use_tags`` is true, those are trusted directly; otherwise
+    addresses are attributed through the registry's interval index —
+    the call-stack-matching path.
+    """
+    if use_tags and trace.variables_present().size:
+        owner = trace.variable
+    else:
+        owner = registry.attribute(trace.va)
+    profiles: list[VariableProfile] = []
+    for info in registry:
+        mask = owner == info.variable_id
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        profiles.append(
+            VariableProfile(
+                variable_id=info.variable_id,
+                name=info.name,
+                size_bytes=info.size_bytes,
+                references=count,
+                addresses=trace.va[mask],
+            )
+        )
+    attributed = int((owner != UNATTRIBUTED).sum())
+    return WorkloadProfile(
+        name=name, profiles=profiles, total_references=attributed
+    )

@@ -1,0 +1,38 @@
+"""System composition: configurations, machines, experiments."""
+
+from repro.system.config import SystemConfig, standard_systems, system_by_key
+from repro.system.corun import CorunMachine, CorunResult
+from repro.system.experiment import (
+    SpeedupTable,
+    core_sweep,
+    frequency_sweep,
+    run_suite,
+)
+from repro.system.machine import Machine, MachineResult
+from repro.system.reporting import format_series, format_table
+from repro.system.tracefile import (
+    load_profile,
+    load_trace,
+    save_profile,
+    save_trace,
+)
+
+__all__ = [
+    "CorunMachine",
+    "CorunResult",
+    "Machine",
+    "MachineResult",
+    "SpeedupTable",
+    "SystemConfig",
+    "core_sweep",
+    "format_series",
+    "format_table",
+    "frequency_sweep",
+    "load_profile",
+    "load_trace",
+    "save_profile",
+    "save_trace",
+    "run_suite",
+    "standard_systems",
+    "system_by_key",
+]

@@ -1,0 +1,92 @@
+"""The evaluated system configurations (Section 7.3).
+
+Seven systems, exactly the paper's comparison set:
+
+* ``BS+DM``   — baseline, boot-time default (identity) mapping;
+* ``BS+BSM``  — one global bit-shuffle mapping chosen from the profile
+  of the whole workload mix;
+* ``BS+HM``   — one global hashing-based mapping (no profiling);
+* ``SDM+BSM`` — SDAM with one bit-shuffle mapping per application;
+* ``SDM+BSM+ML`` — SDAM + K-Means clustering of major variables
+  (4 or 32 clusters);
+* ``SDM+BSM+DL`` — SDAM + DL-assisted K-Means (4 or 32 clusters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["SystemConfig", "standard_systems", "system_by_key"]
+
+POLICIES = ("default", "bsm", "hash")
+CLUSTERINGS = (None, "kmeans", "dl")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One point in the paper's system-comparison space."""
+
+    key: str
+    label: str
+    sdam: bool
+    policy: str  # global mapping policy for non-SDAM systems
+    clustering: str | None = None
+    clusters: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ConfigError(f"unknown policy {self.policy!r}")
+        if self.clustering not in CLUSTERINGS:
+            raise ConfigError(f"unknown clustering {self.clustering!r}")
+        if self.clustering is not None and not self.sdam:
+            raise ConfigError("clustering requires SDAM")
+        if self.clustering is not None and self.clusters < 1:
+            raise ConfigError("clustered systems need clusters >= 1")
+
+    @property
+    def needs_profiling(self) -> bool:
+        """Whether the configuration requires an offline profiling run."""
+        return self.sdam or self.policy == "bsm"
+
+
+BS_DM = SystemConfig("bs_dm", "BS+DM", sdam=False, policy="default")
+BS_BSM = SystemConfig("bs_bsm", "BS+BSM", sdam=False, policy="bsm")
+BS_HM = SystemConfig("bs_hm", "BS+HM", sdam=False, policy="hash")
+SDM_BSM = SystemConfig("sdm_bsm", "SDM+BSM", sdam=True, policy="bsm")
+
+
+def _clustered(kind: str, clusters: int) -> SystemConfig:
+    label = "ML" if kind == "kmeans" else "DL"
+    return SystemConfig(
+        key=f"sdm_bsm_{label.lower()}{clusters}",
+        label=f"SDM+BSM+{label}({clusters})",
+        sdam=True,
+        policy="bsm",
+        clustering=kind,
+        clusters=clusters,
+    )
+
+
+def standard_systems(cluster_counts: tuple[int, ...] = (4, 32)) -> list[SystemConfig]:
+    """The full Fig. 12 comparison set."""
+    systems = [BS_DM, BS_BSM, BS_HM, SDM_BSM]
+    for count in cluster_counts:
+        systems.append(_clustered("kmeans", count))
+    for count in cluster_counts:
+        systems.append(_clustered("dl", count))
+    return systems
+
+
+def system_by_key(key: str) -> SystemConfig:
+    """Look up a configuration by its short key (e.g. ``sdm_bsm_dl32``)."""
+    for system in standard_systems():
+        if system.key == key:
+            return system
+    # Allow arbitrary cluster counts like sdm_bsm_ml8.
+    for kind, tag in (("kmeans", "ml"), ("dl", "dl")):
+        prefix = f"sdm_bsm_{tag}"
+        if key.startswith(prefix) and key[len(prefix) :].isdigit():
+            return _clustered(kind, int(key[len(prefix) :]))
+    raise ConfigError(f"unknown system key {key!r}")

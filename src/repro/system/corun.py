@@ -1,0 +1,175 @@
+"""Co-running applications sharing one SDAM machine.
+
+Section 7.4 motivates the 4-cluster configurations with co-running
+applications: the CMT supports 256 concurrent mappings *globally*, so
+when many applications co-run, each gets only a slice of the mapping
+budget and several variables must share a mapping.  This module runs
+several workloads concurrently — separate address spaces, one physical
+memory, one CMT — splitting the cluster budget across them and
+interleaving their external traces, the multiprogrammed scenario the
+prototype's globally-shared CMT is designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chunks import ChunkGeometry
+from repro.core.sdam import SDAMController
+from repro.core.selection import select_mappings_kmeans
+from repro.cpu.cpu import CPUModel
+from repro.cpu.trace import AccessTrace, interleave_traces
+from repro.errors import ConfigError
+from repro.hbm.config import HBMConfig, hbm2_config
+from repro.hbm.fastmodel import WindowModel
+from repro.hbm.stats import RunStats
+from repro.mem.kernel import Kernel
+from repro.mem.malloc import MappingAwareAllocator
+from repro.profiling.profiler import profile_trace
+from repro.profiling.variables import VariableRegistry
+from repro.system.machine import CPU_COMPUTE_NS_PER_ACCESS
+from repro.workloads.base import Workload
+
+__all__ = ["CorunResult", "CorunMachine"]
+
+
+@dataclass(frozen=True)
+class CorunResult:
+    """Outcome of one multiprogrammed run."""
+
+    stats: RunStats
+    compute_ns: float
+    live_mappings: int
+    workload_names: list[str]
+
+    @property
+    def time_ns(self) -> float:
+        """End-to-end time: memory makespan plus compute."""
+        return self.stats.makespan_ns + self.compute_ns
+
+
+class CorunMachine:
+    """Several workloads, one memory system, one shared CMT."""
+
+    def __init__(
+        self,
+        use_sdam: bool = True,
+        clusters_per_app: int = 4,
+        hbm: HBMConfig | None = None,
+        geometry: ChunkGeometry | None = None,
+        cores: int = 4,
+        max_mappings: int = 256,
+        seed: int = 0,
+    ):
+        if clusters_per_app < 1:
+            raise ConfigError("need at least one cluster per application")
+        self.use_sdam = use_sdam
+        self.clusters_per_app = clusters_per_app
+        self.hbm = hbm or hbm2_config()
+        self.geometry = geometry or ChunkGeometry(
+            total_bytes=self.hbm.total_bytes
+        )
+        self.cores = cores
+        self.max_mappings = max_mappings
+        self.seed = seed
+        self.layout = self.hbm.layout()
+
+    def _profile_one(self, workload: Workload, seed: int):
+        """Standalone profiling pass for one application."""
+        kernel = Kernel(self.geometry, sdam=None)
+        space = kernel.spawn()
+        malloc = MappingAwareAllocator(kernel, space)
+        registry = VariableRegistry()
+        base = {}
+        for spec in workload.variables():
+            va = malloc.malloc(spec.size_bytes, tag=spec.name)
+            registry.record_allocation(spec.name, va, spec.size_bytes)
+            base[spec.name] = va
+        engine = CPUModel(cores=self.cores)
+        external = engine.external_trace(workload.trace(base, seed))
+        pa = space.translate_trace(external.trace.va)
+        trace = AccessTrace(
+            va=pa,
+            is_write=external.trace.is_write,
+            variable=external.trace.variable,
+        )
+        return profile_trace(trace, registry, name=workload.name)
+
+    def run(
+        self,
+        workloads: list[Workload],
+        profile_seed: int = 0,
+        eval_seed: int = 1,
+    ) -> CorunResult:
+        """Profile each app, share the CMT, run everything together."""
+        if not workloads:
+            raise ConfigError("no workloads to co-run")
+        sdam = (
+            SDAMController(self.geometry, max_mappings=self.max_mappings)
+            if self.use_sdam
+            else None
+        )
+        kernel = Kernel(self.geometry, sdam=sdam)
+        engine = CPUModel(cores=self.cores)
+        all_external: list[AccessTrace] = []
+        program_accesses = 0
+        compute_ns = 0.0
+        for app_index, workload in enumerate(workloads):
+            mapping_of_variable: dict[int, int] = {}
+            if self.use_sdam:
+                profile = self._profile_one(workload, profile_seed)
+                selection = select_mappings_kmeans(
+                    profile,
+                    self.clusters_per_app,
+                    self.layout,
+                    self.geometry,
+                    seed=self.seed + app_index,
+                    coverage=0.95,
+                )
+                cluster_to_mapping = {
+                    index: kernel.add_addr_map(perm)
+                    for index, perm in enumerate(selection.window_perms)
+                }
+                mapping_of_variable = {
+                    vid: cluster_to_mapping[cluster]
+                    for vid, cluster in selection.variable_cluster.items()
+                }
+            space = kernel.spawn()
+            malloc = MappingAwareAllocator(kernel, space)
+            base = {}
+            for vid, spec in enumerate(workload.variables()):
+                base[spec.name] = malloc.malloc(
+                    spec.size_bytes,
+                    mapping_id=mapping_of_variable.get(vid, 0),
+                    tag=spec.name,
+                )
+            external = engine.external_trace(
+                workload.trace(base, eval_seed)
+            )
+            program_accesses += external.program_accesses
+            intensity = getattr(workload, "compute_intensity", 1.0)
+            compute_ns += (
+                external.program_accesses
+                * CPU_COMPUTE_NS_PER_ACCESS
+                * intensity
+            )
+            ha = kernel.translate_to_hardware(space, external.trace.va)
+            all_external.append(
+                AccessTrace(
+                    va=ha,
+                    is_write=external.trace.is_write,
+                    variable=external.trace.variable,
+                )
+            )
+        combined = interleave_traces(all_external, chunk=8)
+        model = WindowModel(
+            self.hbm, max_inflight=engine.max_inflight * len(workloads)
+        )
+        stats = model.simulate(combined.va)
+        live = sdam.cmt.live_mappings if sdam is not None else 1
+        return CorunResult(
+            stats=stats,
+            compute_ns=compute_ns,
+            live_mappings=live,
+            workload_names=[w.name for w in workloads],
+        )

@@ -1,0 +1,160 @@
+"""Experiment drivers: speedup sweeps over workloads x systems.
+
+Implements the paper's evaluation methodology: profile with one input,
+evaluate with another (cross-validation), use the suite-wide mix profile
+for the global ``BS+BSM`` baseline, and report per-workload speedups
+over ``BS+DM`` plus geometric means (Figs. 12, 14, 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cpu.trace import AccessTrace
+from repro.errors import ConfigError
+from repro.profiling.profiler import WorkloadProfile, profile_trace
+from repro.system.config import SystemConfig, standard_systems
+from repro.system.machine import Machine, MachineResult
+from repro.workloads.base import Workload
+
+__all__ = ["SpeedupTable", "run_suite", "frequency_sweep", "core_sweep"]
+
+
+@dataclass
+class SpeedupTable:
+    """Results of a workload x system sweep, keyed by labels."""
+
+    baseline_label: str
+    results: dict[str, dict[str, MachineResult]] = field(default_factory=dict)
+
+    def add(self, result: MachineResult) -> None:
+        """Attach a chunk to this group."""
+        self.results.setdefault(result.workload, {})[result.system] = result
+
+    def workloads(self) -> list[str]:
+        """Workload names present in the table."""
+        return list(self.results)
+
+    def systems(self) -> list[str]:
+        """System labels present in the table."""
+        first = next(iter(self.results.values()), {})
+        return list(first)
+
+    def speedup(self, workload: str, system: str) -> float:
+        """Speedup of one system on one workload vs the baseline."""
+        row = self.results[workload]
+        baseline = row[self.baseline_label].time_ns
+        return baseline / row[system].time_ns
+
+    def speedups(self, system: str) -> dict[str, float]:
+        """Per-workload speedups for one system."""
+        return {
+            workload: self.speedup(workload, system)
+            for workload in self.results
+            if system in self.results[workload]
+        }
+
+    def geomean(self, system: str) -> float:
+        """Geometric-mean speedup of a system across workloads."""
+        values = list(self.speedups(system).values())
+        if not values:
+            raise ConfigError(f"no results for system {system!r}")
+        return float(np.exp(np.mean(np.log(values))))
+
+    def to_rows(self) -> list[dict[str, float | str]]:
+        """Table rows (one dict per workload) for reporting."""
+        rows = []
+        for workload in self.results:
+            row: dict[str, float | str] = {"workload": workload}
+            for system in self.results[workload]:
+                row[system] = self.speedup(workload, system)
+            rows.append(row)
+        return rows
+
+
+def _suite_mix_profile(
+    machine: Machine, workloads: list[Workload], profile_seed: int
+) -> WorkloadProfile:
+    """The combined profile of every workload (the BS+BSM policy input)."""
+    addresses = []
+    for workload in workloads:
+        profile = machine.profile(workload, input_seed=profile_seed)
+        addresses.extend(p.addresses for p in profile.profiles)
+    if not addresses:
+        raise ConfigError("suite produced no profiled addresses")
+    combined = np.concatenate(addresses)
+    from repro.profiling.variables import VariableRegistry
+
+    registry = VariableRegistry()
+    registry.record_allocation("mix", 0, 1 << 40)
+    trace = AccessTrace(va=combined)
+    return profile_trace(trace, registry, name="suite-mix", use_tags=False)
+
+
+def run_suite(
+    workloads: list[Workload],
+    systems: list[SystemConfig] | None = None,
+    profile_seed: int = 0,
+    eval_seed: int = 1,
+    **machine_kwargs,
+) -> SpeedupTable:
+    """Run every workload under every system; speedups vs ``BS+DM``."""
+    systems = systems or standard_systems()
+    if not workloads:
+        raise ConfigError("no workloads given")
+    baseline_label = systems[0].label
+    table = SpeedupTable(baseline_label=baseline_label)
+    mix_profile: WorkloadProfile | None = None
+    if any(s.policy == "bsm" and not s.sdam for s in systems):
+        probe_machine = Machine(systems[0], **machine_kwargs)
+        mix_profile = _suite_mix_profile(probe_machine, workloads, profile_seed)
+    for system in systems:
+        machine = Machine(system, **machine_kwargs)
+        for workload in workloads:
+            result = machine.run(
+                workload,
+                profile_seed=profile_seed,
+                eval_seed=eval_seed,
+                mix_profile=mix_profile,
+            )
+            table.add(result)
+    return table
+
+
+def frequency_sweep(
+    workloads: list[Workload],
+    system: SystemConfig,
+    baseline: SystemConfig,
+    scales: tuple[float, ...] = (1.0, 0.5, 0.25),
+    **machine_kwargs,
+) -> dict[float, float]:
+    """Fig. 14: geomean speedup as the HBM slows down."""
+    from repro.hbm.config import hbm2_config
+
+    out: dict[float, float] = {}
+    for scale in scales:
+        hbm = hbm2_config().scaled(scale)
+        table = run_suite(
+            workloads, systems=[baseline, system], hbm=hbm, **machine_kwargs
+        )
+        out[scale] = table.geomean(system.label)
+    return out
+
+
+def core_sweep(
+    workloads: list[Workload],
+    system: SystemConfig,
+    baseline: SystemConfig,
+    core_counts: tuple[int, ...] = (1, 2, 4),
+    **machine_kwargs,
+) -> dict[int, float]:
+    """Fig. 14 companion: geomean speedup vs core count."""
+    out: dict[int, float] = {}
+    for cores in core_counts:
+        table = run_suite(
+            workloads, systems=[baseline, system], cores=cores, **machine_kwargs
+        )
+        out[cores] = table.geomean(system.label)
+    return out

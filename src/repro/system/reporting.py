@@ -1,0 +1,56 @@
+"""Plain-text table/series formatting for benchmark output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    rows: list[dict],
+    columns: list[str] | None = None,
+    float_format: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value) -> str:
+        """Format one value for the table."""
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: dict,
+    key_label: str = "x",
+    value_label: str = "y",
+    float_format: str = "{:.2f}",
+    title: str = "",
+) -> str:
+    """Render a {x: y} mapping as a two-column table."""
+    rows = [
+        {key_label: key, value_label: value} for key, value in series.items()
+    ]
+    return format_table(
+        rows, columns=[key_label, value_label],
+        float_format=float_format, title=title,
+    )

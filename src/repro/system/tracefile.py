@@ -1,0 +1,96 @@
+"""Trace and profile persistence (npz archives).
+
+The paper's profiling is offline and reused across runs of the same
+program ("the profiling result can be reused across variations of the
+program as long as the data structure and memory allocation site do
+not change", Section 6.2).  These helpers store external traces and
+per-variable profiles on disk so a profiling pass can be decoupled
+from the evaluation runs that consume it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.cpu.trace import AccessTrace
+from repro.errors import ProfilingError
+from repro.profiling.profiler import VariableProfile, WorkloadProfile
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_profile",
+    "load_profile",
+]
+
+TRACE_FORMAT = 1
+PROFILE_FORMAT = 1
+
+
+def save_trace(path: str | Path, trace: AccessTrace) -> Path:
+    """Write an access trace to an ``.npz`` archive."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        format=np.int64(TRACE_FORMAT),
+        va=trace.va,
+        is_write=trace.is_write,
+        variable=trace.variable,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(".npz")
+
+
+def load_trace(path: str | Path) -> AccessTrace:
+    """Read an access trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as archive:
+        if int(archive["format"]) != TRACE_FORMAT:
+            raise ProfilingError("unsupported trace file format")
+        return AccessTrace(
+            va=archive["va"],
+            is_write=archive["is_write"],
+            variable=archive["variable"],
+        )
+
+
+def save_profile(path: str | Path, profile: WorkloadProfile) -> Path:
+    """Write a workload profile (per-variable sub-traces) to disk."""
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {
+        "format": np.int64(PROFILE_FORMAT),
+        "name": np.bytes_(profile.name.encode()),
+        "total_references": np.int64(profile.total_references),
+        "count": np.int64(len(profile.profiles)),
+    }
+    for index, variable in enumerate(profile.profiles):
+        payload[f"v{index}_id"] = np.int64(variable.variable_id)
+        payload[f"v{index}_name"] = np.bytes_(variable.name.encode())
+        payload[f"v{index}_size"] = np.int64(variable.size_bytes)
+        payload[f"v{index}_refs"] = np.int64(variable.references)
+        payload[f"v{index}_addresses"] = variable.addresses
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(".npz")
+
+
+def load_profile(path: str | Path) -> WorkloadProfile:
+    """Read a profile written by :func:`save_profile`."""
+    with np.load(Path(path)) as archive:
+        if int(archive["format"]) != PROFILE_FORMAT:
+            raise ProfilingError("unsupported profile file format")
+        count = int(archive["count"])
+        profiles = [
+            VariableProfile(
+                variable_id=int(archive[f"v{index}_id"]),
+                name=bytes(archive[f"v{index}_name"]).decode(),
+                size_bytes=int(archive[f"v{index}_size"]),
+                references=int(archive[f"v{index}_refs"]),
+                addresses=archive[f"v{index}_addresses"],
+            )
+            for index in range(count)
+        ]
+        return WorkloadProfile(
+            name=bytes(archive["name"]).decode(),
+            profiles=profiles,
+            total_references=int(archive["total_references"]),
+        )

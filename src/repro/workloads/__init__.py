@@ -1,0 +1,77 @@
+"""Workload models: synthetic, SPEC/PARSEC (Table 1), data-intensive."""
+
+from repro.workloads.analytics import HashJoinWorkload, MergeJoinWorkload
+from repro.workloads.base import (
+    VariableSpec,
+    Workload,
+    gather_addresses,
+    hotspot_addresses,
+    pointer_chase_addresses,
+    random_addresses,
+    strided_addresses,
+    tagged_trace,
+)
+from repro.workloads.graph import (
+    BFSWorkload,
+    CSRGraph,
+    PageRankWorkload,
+    SSSPWorkload,
+    rmat_graph,
+)
+from repro.workloads.ir import HNSWWorkload, IVFPQWorkload, KMeansWorkload
+from repro.workloads.models import (
+    MajorVariableModel,
+    ModeledWorkload,
+    major_sizes_mb,
+)
+from repro.workloads.parsec import PARSEC_TABLE1, parsec_suite, parsec_workload
+from repro.workloads.spec import SPEC2006_TABLE1, spec2006_suite, spec2006_workload
+from repro.workloads.synthetic import MixedStrideWorkload, StridedCopyWorkload
+
+
+def data_intensive_suite(**overrides) -> list[Workload]:
+    """The paper's eight data-intensive benchmarks (Section 7.2)."""
+    return [
+        BFSWorkload(**overrides.get("bfs", {})),
+        PageRankWorkload(**overrides.get("pagerank", {})),
+        SSSPWorkload(**overrides.get("sssp", {})),
+        HashJoinWorkload(**overrides.get("hashjoin", {})),
+        MergeJoinWorkload(**overrides.get("mergejoin", {})),
+        KMeansWorkload(**overrides.get("kmeans", {})),
+        HNSWWorkload(**overrides.get("hnsw", {})),
+        IVFPQWorkload(**overrides.get("ivfpq", {})),
+    ]
+
+
+__all__ = [
+    "BFSWorkload",
+    "CSRGraph",
+    "HNSWWorkload",
+    "HashJoinWorkload",
+    "IVFPQWorkload",
+    "KMeansWorkload",
+    "MajorVariableModel",
+    "MergeJoinWorkload",
+    "MixedStrideWorkload",
+    "ModeledWorkload",
+    "PARSEC_TABLE1",
+    "PageRankWorkload",
+    "SPEC2006_TABLE1",
+    "SSSPWorkload",
+    "StridedCopyWorkload",
+    "VariableSpec",
+    "Workload",
+    "data_intensive_suite",
+    "gather_addresses",
+    "hotspot_addresses",
+    "major_sizes_mb",
+    "parsec_suite",
+    "parsec_workload",
+    "pointer_chase_addresses",
+    "random_addresses",
+    "rmat_graph",
+    "spec2006_suite",
+    "spec2006_workload",
+    "strided_addresses",
+    "tagged_trace",
+]

@@ -1,0 +1,198 @@
+"""In-memory data-analytics workloads: hash join and merge-sort join.
+
+Both joins really execute (match counts are computed and testable) and
+emit the address streams of their data structures: the hash join mixes
+streaming relation scans with random hash-table probes (Balkesen et
+al.'s main-memory join picture); the sort-merge join's sort phase
+produces the classic doubling-stride passes, followed by streaming
+merges (Wolf et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.trace import AccessTrace
+from repro.workloads.base import (
+    VariableSpec,
+    Workload,
+    gather_addresses,
+    strided_addresses,
+    tagged_trace,
+)
+from repro.workloads.graph import _split_threads
+
+__all__ = ["HashJoinWorkload", "MergeJoinWorkload"]
+
+TUPLE_BYTES = 16  # (key, payload)
+BUCKET_BYTES = 256  # a four-line bucket: header + chained entries
+"""Main-memory hash tables pad buckets to several cache lines; probes
+touch the header line, leaving the low channel-select bits constant —
+the aligned-record pattern SDAM recovers."""
+
+
+class HashJoinWorkload(Workload):
+    """Build a hash table on R, probe with S."""
+
+    compute_intensity = 0.25
+
+    def __init__(
+        self,
+        build_tuples: int = 16_384,
+        probe_tuples: int = 32_768,
+        threads: int = 4,
+        max_accesses: int = 48_000,
+    ):
+        self.name = "hashjoin"
+        self.build_tuples = build_tuples
+        self.probe_tuples = probe_tuples
+        self.threads = threads
+        self.max_accesses = max_accesses
+        self.num_buckets = 1 << (build_tuples - 1).bit_length()
+
+    def variables(self) -> list[VariableSpec]:
+        """Allocation sites, in stable order (index = variable id)."""
+        return [
+            VariableSpec("relation_r", self.build_tuples * TUPLE_BYTES),
+            VariableSpec("relation_s", self.probe_tuples * TUPLE_BYTES),
+            VariableSpec("hash_table", self.num_buckets * BUCKET_BYTES),
+            VariableSpec("join_output", self.probe_tuples * TUPLE_BYTES),
+        ]
+
+    def _keys(self, input_seed: int):
+        rng = np.random.default_rng(1000 + input_seed)
+        r_keys = rng.integers(0, self.build_tuples * 2, self.build_tuples)
+        s_keys = rng.integers(0, self.build_tuples * 2, self.probe_tuples)
+        return r_keys, s_keys
+
+    def run_reference(self, input_seed: int = 0) -> int:
+        """Actual number of matching probe tuples."""
+        r_keys, s_keys = self._keys(input_seed)
+        return int(np.isin(s_keys, r_keys).sum())
+
+    def trace(self, base: dict[str, int], input_seed: int = 0) -> list[AccessTrace]:
+        """Per-thread VA traces for the given base addresses and input."""
+        r_keys, s_keys = self._keys(input_seed)
+        mask = self.num_buckets - 1
+        budget = self.max_accesses
+        matches = np.isin(s_keys, r_keys)
+        build_scan = strided_addresses(
+            base["relation_r"],
+            self.build_tuples * TUPLE_BYTES,
+            min(self.build_tuples, budget // 6),
+            1,
+        )
+        build_inserts = gather_addresses(
+            base["hash_table"], BUCKET_BYTES, (r_keys & mask)
+        )[: budget // 6]
+        probe_scan = strided_addresses(
+            base["relation_s"],
+            self.probe_tuples * TUPLE_BYTES,
+            min(self.probe_tuples, budget // 3),
+            1,
+        )
+        probe_lookups = gather_addresses(
+            base["hash_table"], BUCKET_BYTES, (s_keys & mask)
+        )[: budget // 3]
+        output_writes = gather_addresses(
+            base["join_output"], TUPLE_BYTES, np.nonzero(matches)[0]
+        )[: budget // 6]
+        build = tagged_trace(
+            [(build_scan, 0, False), (build_inserts, 2, True)]
+        )
+        probe = tagged_trace(
+            [
+                (probe_scan, 1, False),
+                (probe_lookups, 2, False),
+                (output_writes, 3, True),
+            ]
+        )
+        # Phases run back to back: build, then probe.
+        merged = AccessTrace(
+            va=np.concatenate([build.va, probe.va]),
+            is_write=np.concatenate([build.is_write, probe.is_write]),
+            variable=np.concatenate([build.variable, probe.variable]),
+        )
+        return _split_threads(merged, self.threads)
+
+
+class MergeJoinWorkload(Workload):
+    """Sort-merge join over row-store relations (Wolf et al.).
+
+    Tuples are 256 B row-format records.  The sort phase extracts the
+    key column — a stride-4 scan (one line out of every four-line
+    tuple) — and writes a compact key/rowid run; the merge phase
+    streams both sorted key runs and materialises matching full tuples
+    by rowid (aligned four-line record gathers).
+    """
+
+    compute_intensity = 0.25
+    ROW_BYTES = 256  # one row-store tuple = 4 cache lines
+
+    def __init__(
+        self,
+        tuples: int = 16_384,
+        threads: int = 4,
+        max_accesses: int = 48_000,
+    ):
+        self.name = "mergejoin"
+        self.tuples = tuples
+        self.threads = threads
+        self.max_accesses = max_accesses
+
+    def variables(self) -> list[VariableSpec]:
+        """Allocation sites, in stable order (index = variable id)."""
+        relation = self.tuples * self.ROW_BYTES
+        run = self.tuples * TUPLE_BYTES  # (key, rowid) pairs
+        return [
+            VariableSpec("relation_a", relation),
+            VariableSpec("relation_b", relation),
+            VariableSpec("sorted_runs", 2 * run),
+            VariableSpec("join_output", relation),
+        ]
+
+    def run_reference(self, input_seed: int = 0) -> int:
+        """Run the real computation; returns the checkable result."""
+        rng = np.random.default_rng(2000 + input_seed)
+        a = np.sort(rng.integers(0, self.tuples, self.tuples))
+        b = np.sort(rng.integers(0, self.tuples, self.tuples))
+        return int(np.isin(a, b).sum())
+
+    def trace(self, base: dict[str, int], input_seed: int = 0) -> list[AccessTrace]:
+        """Per-thread VA traces for the given base addresses and input."""
+        rng = np.random.default_rng(2000 + input_seed)
+        relation = self.tuples * self.ROW_BYTES
+        run = self.tuples * TUPLE_BYTES
+        budget = self.max_accesses
+        tuple_lines = self.ROW_BYTES // 64
+        # Sort phase: key-column scans (stride = tuple width) + run writes.
+        key_scan_count = min(self.tuples, budget // 4)
+        key_scan_a = strided_addresses(
+            base["relation_a"], relation, key_scan_count, tuple_lines
+        )
+        key_scan_b = strided_addresses(
+            base["relation_b"], relation, key_scan_count, tuple_lines
+        )
+        run_writes = strided_addresses(
+            base["sorted_runs"], 2 * run, budget // 8, 1
+        )
+        # Merge phase: stream the sorted runs, gather matching tuples.
+        run_reads = strided_addresses(base["sorted_runs"], 2 * run, budget // 8, 1)
+        matches = rng.integers(0, self.tuples, budget // 8, dtype=np.uint64)
+        tuple_gathers = gather_addresses(
+            base["relation_a"], self.ROW_BYTES, matches
+        )
+        output_writes = strided_addresses(
+            base["join_output"], relation, budget // 8, 1
+        )
+        merged = tagged_trace(
+            [
+                (key_scan_a, 0, False),
+                (key_scan_b, 1, False),
+                (run_writes, 2, True),
+                (run_reads, 2, False),
+                (tuple_gathers, 0, False),
+                (output_writes, 3, True),
+            ]
+        )
+        return _split_threads(merged, self.threads)

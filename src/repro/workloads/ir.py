@@ -1,0 +1,334 @@
+"""Machine-learning / information-retrieval workloads: K-Means, HNSW, IVFPQ.
+
+Three kernels from the paper's third data-intensive domain (Johnson et
+al.'s billion-scale similarity search plus Lloyd's K-Means).  Each is a
+real (reduced-scale) computation whose data-structure touches are
+emitted as tagged traces:
+
+* K-Means — streaming point scans against a hot centroid block;
+* HNSW — greedy graph descent: pointer-chase over adjacency plus
+  vector reads;
+* IVFPQ — coarse quantiser probe, then streaming scans of the selected
+  inverted lists with random LUT lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.trace import AccessTrace
+from repro.workloads.base import (
+    VariableSpec,
+    Workload,
+    gather_addresses,
+    strided_addresses,
+    tagged_trace,
+)
+from repro.workloads.graph import _split_threads, ragged_ranges
+
+__all__ = ["KMeansWorkload", "HNSWWorkload", "IVFPQWorkload"]
+
+FLOAT_BYTES = 4
+
+
+class KMeansWorkload(Workload):
+    """Lloyd iterations over a point matrix (K-Means [31])."""
+
+    compute_intensity = 0.35
+
+    def __init__(
+        self,
+        points: int = 8192,
+        dims: int = 32,
+        k: int = 16,
+        iterations: int = 2,
+        threads: int = 4,
+        max_accesses: int = 48_000,
+    ):
+        self.name = "kmeans"
+        self.points = points
+        self.dims = dims
+        self.k = k
+        self.iterations = iterations
+        self.threads = threads
+        self.max_accesses = max_accesses
+
+    def variables(self) -> list[VariableSpec]:
+        """Allocation sites, in stable order (index = variable id)."""
+        row = self.dims * FLOAT_BYTES
+        return [
+            VariableSpec("points", self.points * row),
+            VariableSpec("centroids", max(self.k * row, 4096)),
+            VariableSpec("assignments", self.points * 4),
+        ]
+
+    def run_reference(self, input_seed: int = 0) -> np.ndarray:
+        """Actual assignments after the configured Lloyd iterations."""
+        rng = np.random.default_rng(3000 + input_seed)
+        data = rng.normal(size=(self.points, self.dims))
+        centroids = data[rng.choice(self.points, self.k, replace=False)]
+        labels = np.zeros(self.points, dtype=np.int64)
+        for _ in range(self.iterations):
+            distances = ((data[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+            labels = distances.argmin(axis=1)
+            for cluster in range(self.k):
+                members = data[labels == cluster]
+                if members.size:
+                    centroids[cluster] = members.mean(axis=0)
+        return labels
+
+    def trace(self, base: dict[str, int], input_seed: int = 0) -> list[AccessTrace]:
+        """Per-thread VA traces for the given base addresses and input."""
+        row = self.dims * FLOAT_BYTES
+        budget = self.max_accesses
+        lines_per_point = max(row // 64, 1)
+        sampled_points = min(
+            self.points, budget // (self.iterations * (lines_per_point + 2))
+        )
+        rng = np.random.default_rng(3000 + input_seed)
+        streams: list[tuple[np.ndarray, int, bool]] = []
+        for _iteration in range(self.iterations):
+            # Row-major streaming scan of the point matrix.
+            point_reads = strided_addresses(
+                base["points"],
+                self.points * row,
+                sampled_points * lines_per_point,
+                1,
+            )
+            # Centroids are a small hot block, re-read per point.
+            centroid_reads = gather_addresses(
+                base["centroids"],
+                64,
+                rng.integers(0, max(self.k * row // 64, 1), sampled_points),
+            )
+            assignment_writes = gather_addresses(
+                base["assignments"], 4, np.arange(sampled_points)
+            )
+            streams.extend(
+                [
+                    (point_reads, 0, False),
+                    (centroid_reads, 1, False),
+                    (assignment_writes, 2, True),
+                ]
+            )
+        merged = tagged_trace(streams)
+        return _split_threads(merged, self.threads)
+
+
+class HNSWWorkload(Workload):
+    """Greedy search over a navigable small-world graph (HNSW [25])."""
+
+    compute_intensity = 0.35
+
+    def __init__(
+        self,
+        nodes: int = 16_384,
+        dims: int = 64,
+        neighbours: int = 16,
+        queries: int = 256,
+        threads: int = 4,
+        max_accesses: int = 48_000,
+    ):
+        self.name = "hnsw"
+        self.nodes = nodes
+        self.dims = dims
+        self.neighbours = neighbours
+        self.queries = queries
+        self.threads = threads
+        self.max_accesses = max_accesses
+
+    SEARCH_STATE_BYTES = 2 * 1024 * 1024
+    """Per-query visited sets and candidate heaps: HNSW search keeps a
+    visited bitset plus a bounded priority queue per in-flight query."""
+
+    def variables(self) -> list[VariableSpec]:
+        """Allocation sites, in stable order (index = variable id)."""
+        row = self.dims * FLOAT_BYTES
+        return [
+            VariableSpec("vectors", self.nodes * row),
+            VariableSpec("adjacency", self.nodes * self.neighbours * 4),
+            VariableSpec("search_state", self.SEARCH_STATE_BYTES),
+        ]
+
+    def _build_index(self, input_seed: int):
+        rng = np.random.default_rng(4000 + input_seed)
+        vectors = rng.normal(size=(self.nodes, self.dims)).astype(np.float32)
+        adjacency = rng.integers(
+            0, self.nodes, (self.nodes, self.neighbours), dtype=np.int64
+        )
+        return vectors, adjacency, rng
+
+    def run_reference(self, input_seed: int = 0) -> np.ndarray:
+        """Greedy-search results (entry node per query), testable."""
+        _vectors, _adjacency, _rng = self._build_index(input_seed)
+        results, _visits = self._search(input_seed)
+        return results
+
+    def _search(self, input_seed: int):
+        vectors, adjacency, rng = self._build_index(input_seed)
+        queries = rng.normal(size=(self.queries, self.dims)).astype(np.float32)
+        results = np.zeros(self.queries, dtype=np.int64)
+        visited_nodes: list[np.ndarray] = []
+        self._candidate_log: list[np.ndarray] = []
+        for query_index in range(self.queries):
+            node = int(rng.integers(self.nodes))
+            path = [node]
+            best = float(((vectors[node] - queries[query_index]) ** 2).sum())
+            for _hop in range(12):
+                candidates = adjacency[node]
+                self._candidate_log.append(candidates)
+                distances = (
+                    (vectors[candidates] - queries[query_index]) ** 2
+                ).sum(axis=1)
+                best_candidate = int(distances.argmin())
+                if distances[best_candidate] >= best:
+                    break
+                best = float(distances[best_candidate])
+                node = int(candidates[best_candidate])
+                path.append(node)
+            results[query_index] = node
+            visited_nodes.append(np.array(path, dtype=np.int64))
+        return results, visited_nodes
+
+    def trace(self, base: dict[str, int], input_seed: int = 0) -> list[AccessTrace]:
+        """Per-thread VA traces for the given base addresses and input."""
+        _results, visited = self._search(input_seed)
+        row = self.dims * FLOAT_BYTES
+        lines_per_vector = max(row // 64, 1)
+        path = np.concatenate(visited)
+        candidates = (
+            np.concatenate(self._candidate_log)
+            if self._candidate_log
+            else np.zeros(0, dtype=np.int64)
+        )
+        budget = self.max_accesses
+        # Candidate pruning touches only each candidate vector's header
+        # line (metadata + short code) — an aligned-record gather.
+        header_reads = gather_addresses(
+            base["vectors"], 64, candidates * lines_per_vector
+        )[: budget // 3]
+        # The chosen node's vector is read in full.
+        vector_lines = (
+            path[:, None] * lines_per_vector + np.arange(lines_per_vector)
+        ).reshape(-1)
+        vector_reads = gather_addresses(base["vectors"], 64, vector_lines)[
+            : budget // 4
+        ]
+        adjacency_reads = gather_addresses(
+            base["adjacency"], self.neighbours * 4, path
+        )[: budget // 4]
+        rng = np.random.default_rng(4002 + input_seed)
+        state_lines = self.SEARCH_STATE_BYTES // 64
+        heap_writes = gather_addresses(
+            base["search_state"],
+            64,
+            rng.integers(0, state_lines, budget // 6, dtype=np.uint64),
+        )
+        merged = tagged_trace(
+            [
+                (header_reads, 0, False),
+                (vector_reads, 0, False),
+                (adjacency_reads, 1, False),
+                (heap_writes, 2, True),
+            ]
+        )
+        return _split_threads(merged, self.threads)
+
+
+class IVFPQWorkload(Workload):
+    """Inverted-file product-quantisation scan (IVFPQ [25])."""
+
+    compute_intensity = 0.25
+
+    def __init__(
+        self,
+        lists: int = 256,
+        vectors_per_list: int = 512,
+        code_bytes: int = 16,
+        queries: int = 64,
+        probes: int = 8,
+        threads: int = 4,
+        max_accesses: int = 48_000,
+    ):
+        self.name = "ivfpq"
+        self.lists = lists
+        self.vectors_per_list = vectors_per_list
+        self.code_bytes = code_bytes
+        self.queries = queries
+        self.probes = probes
+        self.threads = threads
+        self.max_accesses = max_accesses
+
+    DIRECTORY_RECORD_BYTES = 256
+    """Per-list directory entry: size, codebook ids, residual stats —
+    probed once per (query, list), an aligned-record gather."""
+
+    def variables(self) -> list[VariableSpec]:
+        """Allocation sites, in stable order (index = variable id)."""
+        codes_bytes = self.lists * self.vectors_per_list * self.code_bytes
+        return [
+            VariableSpec("coarse_centroids", max(self.lists * 128, 4096)),
+            VariableSpec("inverted_lists", codes_bytes),
+            VariableSpec("lut", max(self.code_bytes * 256 * 4, 4096)),
+            VariableSpec("results", max(self.queries * 1024, 4096)),
+            VariableSpec(
+                "list_directory",
+                max(self.lists * self.DIRECTORY_RECORD_BYTES, 2 * 1024 * 1024),
+            ),
+        ]
+
+    def probed_lists(self, input_seed: int = 0) -> np.ndarray:
+        """Inverted lists each query probes."""
+        rng = np.random.default_rng(5000 + input_seed)
+        return rng.integers(0, self.lists, (self.queries, self.probes))
+
+    def trace(self, base: dict[str, int], input_seed: int = 0) -> list[AccessTrace]:
+        """Per-thread VA traces for the given base addresses and input."""
+        probed = self.probed_lists(input_seed)
+        rng = np.random.default_rng(5001 + input_seed)
+        list_bytes = self.vectors_per_list * self.code_bytes
+        budget = self.max_accesses
+        # Coarse probe: scan all centroids per query (hot block).
+        centroid_reads = gather_addresses(
+            base["coarse_centroids"],
+            64,
+            rng.integers(0, max(self.lists * 128 // 64, 1), budget // 8),
+        )
+        # Selected inverted lists stream line by line.
+        lines_per_list = max(list_bytes // 64, 1)
+        list_line_offsets = (
+            probed.reshape(-1)[:, None] * lines_per_list
+            + np.arange(lines_per_list)
+        ).reshape(-1)
+        list_reads = gather_addresses(base["inverted_lists"], 64, list_line_offsets)[
+            : budget // 2
+        ]
+        lut_reads = gather_addresses(
+            base["lut"],
+            4,
+            rng.integers(0, self.code_bytes * 256, budget // 4),
+        )
+        result_writes = gather_addresses(
+            base["results"], 64, np.arange(budget // 16) % (self.queries * 16)
+        )
+        # Directory probes: one aligned-record header per (query, list),
+        # repeated to model per-segment refetches during the scan.
+        directory_records = max(
+            self.lists,
+            (2 * 1024 * 1024) // self.DIRECTORY_RECORD_BYTES,
+        )
+        directory_reads = gather_addresses(
+            base["list_directory"],
+            self.DIRECTORY_RECORD_BYTES,
+            rng.integers(0, directory_records, budget // 4, dtype=np.uint64),
+        )
+        merged = tagged_trace(
+            [
+                (centroid_reads, 0, False),
+                (list_reads, 1, False),
+                (lut_reads, 2, False),
+                (result_writes, 3, True),
+                (directory_reads, 4, False),
+            ]
+        )
+        return _split_threads(merged, self.threads)

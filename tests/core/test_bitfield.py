@@ -1,0 +1,125 @@
+"""Unit tests for the address bit-field algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitfield import AddressLayout, BitField, extract_bits, insert_bits
+from repro.errors import ConfigError
+
+
+def canonical_layout() -> AddressLayout:
+    return AddressLayout(
+        [("line", 6), ("channel", 5), ("column", 2), ("bank", 3), ("row", 17)]
+    )
+
+
+class TestBitHelpers:
+    def test_extract_scalar(self):
+        assert extract_bits(0b1011_0000, shift=4, width=4) == 0b1011
+
+    def test_insert_scalar(self):
+        assert insert_bits(0b1011, shift=4, width=4) == 0b1011_0000
+
+    def test_insert_masks_excess(self):
+        assert insert_bits(0b11011, shift=0, width=4) == 0b1011
+
+    def test_extract_array(self):
+        values = np.array([0x40, 0x80, 0xC0], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            extract_bits(values, shift=6, width=2), [1, 2, 3]
+        )
+
+    def test_roundtrip(self):
+        for value in (0, 1, 0x7F, 0xABCDE):
+            field = extract_bits(insert_bits(value, 7, 20), 7, 20)
+            assert field == value & ((1 << 20) - 1)
+
+
+class TestBitField:
+    def test_end_and_mask(self):
+        field = BitField("channel", shift=6, width=5)
+        assert field.end == 11
+        assert field.mask == 0b11111 << 6
+
+    def test_bit_positions(self):
+        field = BitField("column", shift=11, width=2)
+        assert list(field.bit_positions()) == [11, 12]
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigError):
+            BitField("x", shift=0, width=0)
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ConfigError):
+            BitField("x", shift=-1, width=3)
+
+
+class TestAddressLayout:
+    def test_width_is_sum(self):
+        assert canonical_layout().width == 33
+
+    def test_field_order(self):
+        layout = canonical_layout()
+        assert layout.field_names == ["line", "channel", "column", "bank", "row"]
+
+    def test_fields_tile_without_gaps(self):
+        layout = canonical_layout()
+        expected_shift = 0
+        for field in layout:
+            assert field.shift == expected_shift
+            expected_shift = field.end
+        assert expected_shift == layout.width
+
+    def test_decode_encode_roundtrip(self):
+        layout = canonical_layout()
+        address = 0x1_2345_6789
+        fields = layout.decode(address)
+        assert layout.encode(**fields) == address
+
+    def test_decode_array(self):
+        layout = canonical_layout()
+        addresses = np.array([64, 128, 192], dtype=np.uint64)
+        channels = layout.decode(addresses)["channel"]
+        np.testing.assert_array_equal(channels, [1, 2, 3])
+
+    def test_encode_unknown_field(self):
+        with pytest.raises(ConfigError):
+            canonical_layout().encode(nonexistent=1)
+
+    def test_missing_fields_default_zero(self):
+        layout = canonical_layout()
+        assert layout.encode(channel=3) == 3 << 6
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressLayout([("a", 4), ("a", 4)])
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressLayout([])
+
+    def test_field_of_bit(self):
+        layout = canonical_layout()
+        assert layout.field_of_bit(0).name == "line"
+        assert layout.field_of_bit(6).name == "channel"
+        assert layout.field_of_bit(10).name == "channel"
+        assert layout.field_of_bit(11).name == "column"
+        assert layout.field_of_bit(32).name == "row"
+
+    def test_field_of_bit_out_of_range(self):
+        with pytest.raises(ConfigError):
+            canonical_layout().field_of_bit(33)
+
+    def test_getitem_unknown(self):
+        with pytest.raises(ConfigError):
+            canonical_layout()["nope"]
+
+    def test_contains(self):
+        layout = canonical_layout()
+        assert "row" in layout
+        assert "nope" not in layout
+
+    def test_equality(self):
+        assert canonical_layout() == canonical_layout()
+        other = AddressLayout([("line", 6), ("rest", 27)])
+        assert canonical_layout() != other

@@ -1,0 +1,114 @@
+"""Unit tests for chunk geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import ChunkGeometry, GiB, MiB
+from repro.errors import AddressError, ConfigError
+
+
+class TestPrototypeGeometry:
+    """The paper's numbers: 8 GB, 2 MB chunks, 64 B lines."""
+
+    def setup_method(self):
+        self.geo = ChunkGeometry()
+
+    def test_counts_match_paper(self):
+        assert self.geo.num_chunks == 4096  # Section 4: 8 GB / 2 MB
+        assert self.geo.window_bits == 15  # Section 5.2: 15-bit chunk offset
+        assert self.geo.chunk_shift == 21
+        assert self.geo.line_bits == 6
+        assert self.geo.address_bits == 33
+
+    def test_pages_per_chunk(self):
+        assert self.geo.pages_per_chunk == 512
+        assert self.geo.lines_per_chunk == 32768
+
+    def test_window_slice(self):
+        assert self.geo.window_slice() == (6, 21)
+
+    def test_chunk_number_and_offset(self):
+        pa = 5 * (2 * MiB) + 12345
+        assert self.geo.chunk_number(pa) == 5
+        assert self.geo.chunk_offset(pa) == 12345
+
+    def test_chunk_split_vectorised(self):
+        pas = np.array([0, 2 * MiB, 2 * MiB + 64], dtype=np.uint64)
+        np.testing.assert_array_equal(self.geo.chunk_number(pas), [0, 1, 1])
+        np.testing.assert_array_equal(self.geo.chunk_offset(pas), [0, 0, 64])
+
+    def test_chunk_base_roundtrip(self):
+        assert self.geo.chunk_base(7) == 7 * 2 * MiB
+
+    def test_chunk_base_out_of_range(self):
+        with pytest.raises(AddressError):
+            self.geo.chunk_base(4096)
+
+    def test_check_address(self):
+        self.geo.check_address(8 * GiB - 1)
+        with pytest.raises(AddressError):
+            self.geo.check_address(8 * GiB)
+        with pytest.raises(AddressError):
+            self.geo.check_address(np.array([0, 8 * GiB], dtype=np.uint64))
+
+    def test_page_number(self):
+        assert self.geo.page_number(4096 * 3 + 17) == 3
+
+
+class TestValidation:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            ChunkGeometry(chunk_bytes=3 * MiB)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            ChunkGeometry(page_bytes=32, line_bytes=64)
+
+    def test_chunk_larger_than_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            ChunkGeometry(total_bytes=1 * MiB, chunk_bytes=2 * MiB)
+
+
+class TestGuardRows:
+    def test_guard_offsets_at_edges(self):
+        geo = ChunkGeometry()
+        offsets = geo.guard_line_offsets(rows_per_guard=2, row_bytes=256)
+        rows_in_chunk = (2 * MiB) // 256
+        assert offsets.tolist() == [
+            0,
+            256,
+            (rows_in_chunk - 2) * 256,
+            (rows_in_chunk - 1) * 256,
+        ]
+
+    def test_guard_rows_must_leave_space(self):
+        geo = ChunkGeometry()
+        with pytest.raises(ConfigError):
+            geo.guard_line_offsets(rows_per_guard=10000, row_bytes=256)
+
+    def test_guard_rows_positive(self):
+        with pytest.raises(ConfigError):
+            ChunkGeometry().guard_line_offsets(rows_per_guard=0, row_bytes=256)
+
+
+@given(
+    chunk_pow=st.integers(18, 24),
+    total_pow=st.integers(30, 37),
+)
+@settings(max_examples=30, deadline=None)
+def test_derived_widths_consistent(chunk_pow, total_pow):
+    geo = ChunkGeometry(total_bytes=1 << total_pow, chunk_bytes=1 << chunk_pow)
+    assert geo.num_chunks == 1 << (total_pow - chunk_pow)
+    assert geo.window_bits == geo.chunk_shift - geo.line_bits
+    low, high = geo.window_slice()
+    assert high - low == geo.window_bits
+
+
+@given(pa=st.integers(0, 8 * GiB - 1))
+@settings(max_examples=50, deadline=None)
+def test_chunk_decomposition_roundtrip(pa):
+    geo = ChunkGeometry()
+    reconstructed = geo.chunk_base(geo.chunk_number(pa)) + geo.chunk_offset(pa)
+    assert reconstructed == pa

@@ -1,0 +1,120 @@
+"""Unit + property tests for the SDAM controller datapath."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import ChunkGeometry, MiB
+from repro.core.mapping import PermutationMapping, identity_mapping
+from repro.core.sdam import GlobalMappingTranslator, SDAMController
+from repro.errors import AddressError, MappingError
+
+SMALL = ChunkGeometry(total_bytes=64 * MiB)  # 32 chunks, quick to exercise
+
+
+def rolled(shift: int) -> np.ndarray:
+    return np.roll(np.arange(SMALL.window_bits), shift)
+
+
+class TestGlobalTranslator:
+    def test_identity_passthrough(self):
+        translator = GlobalMappingTranslator(identity_mapping(26))
+        pa = np.arange(0, 1 << 20, 4096, dtype=np.uint64)
+        np.testing.assert_array_equal(translator.translate(pa), pa)
+
+    def test_applies_mapping(self):
+        source = list(range(26))
+        source[6], source[20] = source[20], source[6]
+        translator = GlobalMappingTranslator(PermutationMapping(source))
+        assert translator.translate(np.array([1 << 20], dtype=np.uint64))[0] == 1 << 6
+
+
+class TestSDAMController:
+    def test_register_window_permutation(self):
+        controller = SDAMController(SMALL)
+        mapping_id = controller.register_mapping(rolled(1))
+        assert mapping_id == 1
+
+    def test_register_full_mapping(self):
+        controller = SDAMController(SMALL)
+        full = controller.amu.full_mapping(rolled(2), SMALL)
+        assert controller.register_mapping(full) == 1
+
+    def test_register_rejects_leaky_mapping(self):
+        controller = SDAMController(SMALL)
+        source = list(range(SMALL.address_bits))
+        source[0], source[25] = source[25], source[0]  # moves line offset bit
+        with pytest.raises(MappingError):
+            controller.register_mapping(PermutationMapping(source))
+
+    def test_unconfigured_chunks_are_identity(self):
+        controller = SDAMController(SMALL)
+        pa = np.arange(0, 4 * MiB, 64, dtype=np.uint64)
+        np.testing.assert_array_equal(controller.translate(pa), pa)
+
+    def test_assigned_chunk_is_shuffled_others_not(self):
+        controller = SDAMController(SMALL)
+        mapping_id = controller.register_mapping(rolled(3))
+        controller.assign_chunk(1, mapping_id)
+        pa = np.array([100 << 6, (2 * MiB) + (100 << 6)], dtype=np.uint64)
+        ha = controller.translate(pa)
+        assert ha[0] == pa[0]  # chunk 0 untouched
+        assert ha[1] != pa[1]  # chunk 1 remapped
+        expected = controller.full_mapping(mapping_id).apply(int(pa[1]))
+        assert int(ha[1]) == expected
+
+    def test_chunk_number_always_preserved(self):
+        controller = SDAMController(SMALL)
+        mapping_id = controller.register_mapping(rolled(5))
+        for chunk in range(SMALL.num_chunks):
+            controller.assign_chunk(chunk, mapping_id)
+        rng = np.random.default_rng(0)
+        pa = rng.integers(0, SMALL.total_bytes, 2000, dtype=np.uint64)
+        ha = controller.translate(pa)
+        np.testing.assert_array_equal(
+            SMALL.chunk_number(ha), SMALL.chunk_number(pa)
+        )
+
+    def test_release_chunk_restores_identity(self):
+        controller = SDAMController(SMALL)
+        mapping_id = controller.register_mapping(rolled(3))
+        controller.assign_chunk(2, mapping_id)
+        controller.release_chunk(2)
+        pa = np.array([(4 * MiB) + 4096], dtype=np.uint64)
+        np.testing.assert_array_equal(controller.translate(pa), pa)
+
+    def test_out_of_range_address_rejected(self):
+        controller = SDAMController(SMALL)
+        with pytest.raises(AddressError):
+            controller.translate(np.array([SMALL.total_bytes], dtype=np.uint64))
+
+    def test_translate_scalar(self):
+        controller = SDAMController(SMALL)
+        assert controller.translate_scalar(4096) == 4096
+
+    @given(shift=st.integers(1, 14), seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_translation_is_injective(self, shift, seed):
+        """Section 4: one PA maps to exactly one HA and vice versa."""
+        controller = SDAMController(SMALL)
+        mapping_id = controller.register_mapping(rolled(shift))
+        rng = np.random.default_rng(seed)
+        for chunk in range(0, SMALL.num_chunks, 2):
+            controller.assign_chunk(chunk, mapping_id)
+        pa = np.unique(
+            rng.integers(0, SMALL.total_bytes, 4000, dtype=np.uint64)
+        )
+        ha = controller.translate(pa)
+        assert np.unique(ha).size == pa.size
+
+    @given(shift=st.integers(0, 14))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_through_inverse(self, shift):
+        controller = SDAMController(SMALL)
+        mapping_id = controller.register_mapping(rolled(shift))
+        controller.assign_chunk(0, mapping_id)
+        pa = np.arange(0, 2 * MiB, 997 * 64, dtype=np.uint64)
+        ha = controller.translate(pa)
+        inverse = controller.full_mapping(mapping_id).inverse()
+        np.testing.assert_array_equal(inverse.apply(ha), pa)

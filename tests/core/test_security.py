@@ -1,0 +1,90 @@
+"""Tests for the row-hammer guard-row extension (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunks import ChunkGeometry, MiB
+from repro.core.sdam import SDAMController
+from repro.core.security import plan_guard_rows, verify_isolation
+from repro.errors import ConfigError
+from repro.hbm.config import hbm2_config
+
+GEO = ChunkGeometry(total_bytes=64 * MiB)
+HBM = hbm2_config()
+
+
+def controller_with(shift: int = 0) -> SDAMController:
+    controller = SDAMController(GEO)
+    if shift:
+        mapping_id = controller.register_mapping(
+            np.roll(np.arange(GEO.window_bits), shift)
+        )
+        for chunk in range(GEO.num_chunks):
+            controller.assign_chunk(chunk, mapping_id)
+    return controller
+
+
+class TestGuardPlan:
+    def test_plan_reserves_edge_addresses(self):
+        controller = controller_with()
+        plan = plan_guard_rows(GEO, HBM, controller, chunk_no=2)
+        assert plan.guard_pa.size > 0
+        assert plan.reserved_bytes == plan.guard_pa.size * 64
+        # All guard addresses live inside the chunk.
+        assert (GEO.chunk_number(plan.guard_pa) == 2).all()
+
+    def test_guard_rows_flank_protected_rows(self):
+        controller = controller_with()
+        plan = plan_guard_rows(GEO, HBM, controller, chunk_no=1)
+        protected = {(int(b), int(r)) for b, r in plan.protected_rows}
+        guards = {(int(b), int(r)) for b, r in plan.guard_rows}
+        # Each bank's guard set includes its data edge rows.
+        banks = {b for b, _ in protected}
+        for bank in banks:
+            rows = sorted(r for b, r in protected if b == bank)
+            assert (bank, rows[0]) in guards
+            assert (bank, rows[-1]) in guards
+
+    def test_overhead_is_small(self):
+        controller = controller_with()
+        plan = plan_guard_rows(GEO, HBM, controller, chunk_no=0)
+        # Guards cost a small share of the 2 MB chunk.
+        assert plan.reserved_bytes < GEO.chunk_bytes // 8
+
+    def test_invalid_rows_per_guard(self):
+        controller = controller_with()
+        with pytest.raises(ConfigError):
+            plan_guard_rows(GEO, HBM, controller, 0, rows_per_guard=0)
+
+
+class TestIsolation:
+    def test_neighbouring_chunk_cannot_hammer(self):
+        """Attackers owning adjacent chunks cannot reach protected rows."""
+        controller = controller_with()
+        plan = plan_guard_rows(GEO, HBM, controller, chunk_no=4)
+        assert verify_isolation(
+            plan, GEO, HBM, controller, attacker_chunks=[3, 5]
+        )
+
+    def test_isolation_holds_under_shuffled_mapping(self):
+        controller = controller_with(shift=5)
+        plan = plan_guard_rows(GEO, HBM, controller, chunk_no=4)
+        assert verify_isolation(
+            plan, GEO, HBM, controller, attacker_chunks=[3, 5]
+        )
+
+    def test_same_chunk_without_guards_would_hammer(self):
+        """Sanity: dropping the guards exposes adjacency inside the chunk."""
+        controller = controller_with()
+        plan = plan_guard_rows(GEO, HBM, controller, chunk_no=4)
+        from repro.core.security import GuardPlan
+
+        unguarded = GuardPlan(
+            chunk_no=4,
+            guard_pa=np.zeros(0, dtype=np.uint64),
+            protected_rows=plan.protected_rows,
+            guard_rows=np.zeros((0, 2), dtype=np.int64),
+        )
+        assert not verify_isolation(
+            unguarded, GEO, HBM, controller, attacker_chunks=[4]
+        )

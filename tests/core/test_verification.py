@@ -1,0 +1,82 @@
+"""Tests for the Section 4 correctness auditors."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunks import ChunkGeometry, MiB
+from repro.core.mapping import LinearMapping, PermutationMapping, identity_mapping
+from repro.core.sdam import SDAMController
+from repro.core.verification import (
+    VerificationReport,
+    audit_controller,
+    verify_mapping,
+)
+from repro.errors import MappingError
+
+SMALL = ChunkGeometry(total_bytes=64 * MiB)
+
+
+class TestReport:
+    def test_passing_report(self):
+        report = VerificationReport()
+        report.check(True, "fine")
+        assert report.ok
+        report.raise_if_failed()
+
+    def test_failing_report(self):
+        report = VerificationReport()
+        report.check(False, "broken invariant")
+        assert not report.ok
+        with pytest.raises(MappingError):
+            report.raise_if_failed()
+
+    def test_repr(self):
+        report = VerificationReport()
+        report.check(True, "x")
+        assert "1 checks" in repr(report)
+
+
+class TestVerifyMapping:
+    def test_identity_passes(self):
+        assert verify_mapping(identity_mapping(20)).ok
+
+    def test_random_permutation_passes(self):
+        rng = np.random.default_rng(3)
+        mapping = PermutationMapping(rng.permutation(24))
+        assert verify_mapping(mapping).ok
+
+    def test_linear_mapping_passes(self):
+        matrix = np.eye(20, dtype=np.uint8)
+        matrix[6, 15] = 1
+        assert verify_mapping(LinearMapping(matrix)).ok
+
+
+class TestAuditController:
+    def test_fresh_controller_passes(self):
+        controller = SDAMController(SMALL)
+        report = audit_controller(controller)
+        assert report.ok
+        assert report.checks_run > 0
+
+    def test_configured_controller_passes(self):
+        controller = SDAMController(SMALL)
+        for shift in range(1, 6):
+            mapping_id = controller.register_mapping(
+                np.roll(np.arange(SMALL.window_bits), shift)
+            )
+            controller.assign_chunk(shift, mapping_id)
+        report = audit_controller(controller, sample_chunks=16)
+        assert report.ok
+
+    def test_detects_corrupted_cmt(self):
+        controller = SDAMController(SMALL)
+        mapping_id = controller.register_mapping(
+            np.roll(np.arange(SMALL.window_bits), 4)
+        )
+        controller.assign_chunk(0, mapping_id)
+        # Corrupt the second-level table behind the controller's back.
+        controller.cmt._configs[mapping_id] = np.zeros(
+            SMALL.window_bits, dtype=np.int64
+        )
+        report = audit_controller(controller, sample_chunks=32)
+        assert not report.ok

@@ -1,0 +1,83 @@
+"""Tests for the CPU and accelerator request-stream models."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.accelerator import AcceleratorModel
+from repro.cpu.cpu import CPUModel
+from repro.cpu.trace import AccessTrace
+from repro.errors import ConfigError
+
+KiB = 1024
+
+
+def streaming_trace(lines: int, base: int = 0) -> AccessTrace:
+    va = np.uint64(base) + np.arange(lines, dtype=np.uint64) * np.uint64(64)
+    return AccessTrace(va=va)
+
+
+def hot_trace(lines: int, repeats: int) -> AccessTrace:
+    one_pass = np.arange(lines, dtype=np.uint64) * np.uint64(64)
+    return AccessTrace(va=np.tile(one_pass, repeats))
+
+
+class TestCPUModel:
+    def test_max_inflight(self):
+        assert CPUModel(cores=4, mlp_per_core=16).max_inflight == 64
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            CPUModel(cores=0)
+
+    def test_cache_resident_set_filters(self):
+        cpu = CPUModel(cores=1)
+        result = cpu.external_trace([hot_trace(lines=128, repeats=20)])
+        assert result.l1_hit_rate > 0.9
+        assert result.miss_fraction < 0.1
+
+    def test_streaming_reaches_memory(self):
+        cpu = CPUModel(cores=1)
+        result = cpu.external_trace([streaming_trace(lines=64 * KiB // 64 * 4)])
+        assert result.miss_fraction > 0.9
+
+    def test_threads_round_robin_onto_cores(self):
+        cpu = CPUModel(cores=2)
+        traces = [streaming_trace(256, base=i << 24) for i in range(4)]
+        result = cpu.external_trace(traces)
+        assert result.program_accesses == 4 * 256
+
+    def test_llc_filters_cross_thread_sharing(self):
+        cpu = CPUModel(cores=2, llc_bytes=1024 * KiB)
+        shared = streaming_trace(512)
+        result = cpu.external_trace([shared, shared])
+        # Second thread's L1 misses hit in the shared LLC.
+        assert result.llc_hit_rate > 0.3
+
+    def test_external_trace_is_line_aligned(self):
+        cpu = CPUModel(cores=1)
+        trace = AccessTrace(va=np.array([67, 4099], dtype=np.uint64))
+        result = cpu.external_trace([trace])
+        assert (result.trace.va % 64 == 0).all()
+
+
+class TestAcceleratorModel:
+    def test_more_inflight_than_cpu(self):
+        assert AcceleratorModel().max_inflight > CPUModel().max_inflight
+
+    def test_most_accesses_reach_memory(self):
+        accel = AcceleratorModel()
+        cpu = CPUModel(cores=1)
+        trace = hot_trace(lines=512, repeats=4)
+        accel_frac = accel.external_trace([trace]).miss_fraction
+        cpu_frac = cpu.external_trace([trace]).miss_fraction
+        assert accel_frac > cpu_frac
+
+    def test_no_scratch_passthrough(self):
+        accel = AcceleratorModel(scratch_bytes=0)
+        trace = hot_trace(lines=16, repeats=8)
+        result = accel.external_trace([trace])
+        assert result.miss_fraction == 1.0
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ConfigError):
+            AcceleratorModel(lanes=0)

@@ -1,0 +1,79 @@
+"""Tests for device configurations."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hbm.config import HBMConfig, ddr4_config, hbm2_config
+
+
+class TestHBM2Defaults:
+    def setup_method(self):
+        self.cfg = hbm2_config()
+
+    def test_paper_geometry(self):
+        # Section 2.1: 32 channels, 256 B rows, 8 banks, 8 GB.
+        assert self.cfg.num_channels == 32
+        assert self.cfg.row_bytes == 256
+        assert self.cfg.banks_per_channel == 8
+        assert self.cfg.total_bytes == 8 * 1024**3
+
+    def test_bit_widths(self):
+        assert self.cfg.channel_bits == 5
+        assert self.cfg.bank_bits == 3
+        assert self.cfg.column_bits == 2  # RLP = 4 (Section 2.1)
+        assert self.cfg.row_bits == 17
+        assert self.cfg.address_bits == 33
+
+    def test_layout_tiles_address(self):
+        layout = self.cfg.layout()
+        assert layout.width == self.cfg.address_bits
+        assert layout.field_names == ["line", "channel", "column", "bank", "row"]
+
+    def test_peak_bandwidth_near_paper(self):
+        # Fig. 1/3 ceiling is ~200 GB/s on the VU37P platform.
+        assert 180 < self.cfg.peak_bandwidth_gbps < 230
+
+    def test_rows_per_bank(self):
+        assert self.cfg.rows_per_bank == 1 << 17
+        assert self.cfg.num_banks == 256
+
+
+class TestDDR4Reference:
+    def test_section21_comparison(self):
+        ddr = ddr4_config()
+        hbm = hbm2_config()
+        # 8x more CLP, 8x smaller rows (Section 2.1).
+        assert hbm.num_channels == 8 * ddr.num_channels
+        assert ddr.row_bytes == 8 * hbm.row_bytes
+        assert ddr.peak_bandwidth_gbps == pytest.approx(102.4)
+
+    def test_overrides(self):
+        ddr = ddr4_config(num_channels=8)
+        assert ddr.num_channels == 8
+
+
+class TestFrequencyScaling:
+    def test_scaled_quarter(self):
+        cfg = hbm2_config().scaled(0.25)
+        assert cfg.effective_t_burst_ns == pytest.approx(40.0)
+        assert cfg.peak_bandwidth_gbps == pytest.approx(
+            hbm2_config().peak_bandwidth_gbps / 4
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            hbm2_config().scaled(0)
+
+
+class TestValidation:
+    def test_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            HBMConfig(num_channels=12)
+
+    def test_row_smaller_than_line(self):
+        with pytest.raises(ConfigError):
+            HBMConfig(row_bytes=32)
+
+    def test_bad_timing(self):
+        with pytest.raises(ConfigError):
+            HBMConfig(t_burst_ns=50, t_row_miss_ns=10)

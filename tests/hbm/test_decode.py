@@ -1,0 +1,64 @@
+"""Tests for hardware-address decode."""
+
+import numpy as np
+
+from repro.hbm.config import hbm2_config
+from repro.hbm.decode import decode_trace
+
+
+class TestDecode:
+    def setup_method(self):
+        self.cfg = hbm2_config()
+
+    def test_consecutive_lines_rotate_channels(self):
+        ha = np.arange(64, dtype=np.uint64) * np.uint64(64)
+        decoded = decode_trace(ha, self.cfg)
+        np.testing.assert_array_equal(
+            decoded.channel, np.arange(64) % 32
+        )
+
+    def test_column_increments_after_channel_wrap(self):
+        ha = np.array([0, 32 * 64, 64 * 64], dtype=np.uint64)
+        decoded = decode_trace(ha, self.cfg)
+        np.testing.assert_array_equal(decoded.column, [0, 1, 2])
+
+    def test_bank_and_row(self):
+        layout = self.cfg.layout()
+        ha = np.array(
+            [layout.encode(bank=5, row=1234, channel=7)], dtype=np.uint64
+        )
+        decoded = decode_trace(ha, self.cfg)
+        assert decoded.bank[0] == 5
+        assert decoded.row[0] == 1234
+        assert decoded.channel[0] == 7
+
+    def test_global_bank_unique_per_channel(self):
+        layout = self.cfg.layout()
+        ha = np.array(
+            [
+                layout.encode(channel=0, bank=3),
+                layout.encode(channel=1, bank=3),
+            ],
+            dtype=np.uint64,
+        )
+        decoded = decode_trace(ha, self.cfg)
+        assert decoded.global_bank[0] != decoded.global_bank[1]
+        assert decoded.global_bank[1] == 1 * 8 + 3
+
+    def test_len(self):
+        ha = np.zeros(5, dtype=np.uint64)
+        assert len(decode_trace(ha, self.cfg)) == 5
+
+    def test_roundtrip_encode_decode(self):
+        layout = self.cfg.layout()
+        rng = np.random.default_rng(1)
+        ha = rng.integers(0, self.cfg.total_bytes, 256, dtype=np.uint64)
+        decoded = decode_trace(ha, self.cfg)
+        rebuilt = layout.encode(
+            line=ha & np.uint64(63),
+            channel=decoded.channel.astype(np.uint64),
+            column=decoded.column.astype(np.uint64),
+            bank=decoded.bank.astype(np.uint64),
+            row=decoded.row.astype(np.uint64),
+        )
+        np.testing.assert_array_equal(rebuilt, ha)

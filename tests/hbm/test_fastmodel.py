@@ -1,0 +1,132 @@
+"""Tests for the vectorised window model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hbm.config import hbm2_config
+from repro.hbm.decode import decode_trace
+from repro.hbm.fastmodel import WindowModel, row_hit_mask
+
+
+def stride_trace(stride_lines: int, count: int = 4096) -> np.ndarray:
+    pa = np.arange(count, dtype=np.uint64) * np.uint64(stride_lines * 64)
+    return pa % np.uint64(8 * 1024**3)
+
+
+class TestRowHitMask:
+    def setup_method(self):
+        self.cfg = hbm2_config()
+
+    def test_empty(self):
+        decoded = decode_trace(np.zeros(0, dtype=np.uint64), self.cfg)
+        assert row_hit_mask(decoded).size == 0
+
+    def test_repeat_same_line_hits(self):
+        ha = np.zeros(4, dtype=np.uint64)
+        decoded = decode_trace(ha, self.cfg)
+        hits = row_hit_mask(decoded)
+        assert hits.tolist() == [False, True, True, True]
+
+    def test_alternating_rows_never_hit_in_order(self):
+        """With no scheduler reordering, alternating rows thrash."""
+        layout = self.cfg.layout()
+        a = layout.encode(row=1)
+        b = layout.encode(row=2)
+        ha = np.array([a, b, a, b], dtype=np.uint64)
+        decoded = decode_trace(ha, self.cfg)
+        assert not row_hit_mask(decoded, reorder_window=1).any()
+
+    def test_alternating_rows_batch_under_frfcfs(self):
+        """FR-FCFS batching serves same-row requests back to back."""
+        layout = self.cfg.layout()
+        a = layout.encode(row=1)
+        b = layout.encode(row=2)
+        ha = np.array([a, b, a, b], dtype=np.uint64)
+        decoded = decode_trace(ha, self.cfg)
+        hits = row_hit_mask(decoded, reorder_window=8)
+        # One miss per row batch, one hit per revisit within the window.
+        assert hits.sum() == 2
+
+    def test_batch_boundary_forces_reactivation(self):
+        """The same row re-referenced in a later batch misses again."""
+        layout = self.cfg.layout()
+        a = layout.encode(row=1)
+        ha = np.full(17, a, dtype=np.uint64)
+        decoded = decode_trace(ha, self.cfg)
+        hits = row_hit_mask(decoded, reorder_window=8)
+        # 17 accesses in batches of 8: three batches, one miss each.
+        assert int((~hits).sum()) == 3
+
+    def test_different_banks_do_not_interfere(self):
+        layout = self.cfg.layout()
+        a = layout.encode(bank=0, row=5)
+        b = layout.encode(bank=1, row=9)
+        ha = np.array([a, b, a, b], dtype=np.uint64)
+        decoded = decode_trace(ha, self.cfg)
+        assert row_hit_mask(decoded).tolist() == [False, False, True, True]
+
+    def test_streaming_hit_rate(self):
+        # 4 lines per 256 B row: 3 of every 4 accesses to a bank hit.
+        decoded = decode_trace(stride_trace(1), self.cfg)
+        hits = row_hit_mask(decoded)
+        assert hits.mean() == pytest.approx(0.75, abs=0.01)
+
+
+class TestWindowModel:
+    def setup_method(self):
+        self.cfg = hbm2_config()
+        self.model = WindowModel(self.cfg)
+
+    def test_empty_trace(self):
+        stats = self.model.simulate(np.zeros(0, dtype=np.uint64))
+        assert stats.requests == 0
+        assert stats.throughput_gbps == 0.0
+
+    def test_streaming_near_peak(self):
+        stats = self.model.simulate(stride_trace(1, 8192))
+        assert stats.channels_touched == 32
+        assert stats.throughput_gbps > 0.4 * self.cfg.peak_bandwidth_gbps
+
+    def test_stride_collapse_shape(self):
+        """Fig. 3(a): throughput collapses ~20x from stride 1 to 32."""
+        t1 = self.model.simulate(stride_trace(1, 8192)).throughput_gbps
+        t32 = self.model.simulate(stride_trace(32, 8192)).throughput_gbps
+        assert t1 / t32 > 10
+
+    def test_stride_monotone_decay(self):
+        previous = float("inf")
+        for stride in (1, 2, 8, 16, 32):
+            gbps = self.model.simulate(stride_trace(stride, 8192)).throughput_gbps
+            assert gbps <= previous * 1.01
+            previous = gbps
+
+    def test_worst_case_single_channel(self):
+        stats = self.model.simulate(stride_trace(32, 4096))
+        assert stats.channels_touched == 1
+        assert stats.clp_utilization == pytest.approx(1 / 32, rel=0.05)
+
+    def test_clp_utilization_streaming(self):
+        stats = self.model.simulate(stride_trace(1, 8192))
+        assert stats.clp_utilization > 0.9
+
+    def test_invalid_inflight(self):
+        with pytest.raises(SimulationError):
+            WindowModel(self.cfg, max_inflight=0)
+
+    def test_makespan_additive_across_windows(self):
+        short = self.model.simulate(stride_trace(1, 64))
+        long = self.model.simulate(stride_trace(1, 128))
+        assert long.makespan_ns > short.makespan_ns
+
+    def test_frequency_scaling_slows_device(self):
+        slow = WindowModel(self.cfg.scaled(0.25))
+        fast_t = self.model.simulate(stride_trace(1, 4096)).throughput_gbps
+        slow_t = slow.simulate(stride_trace(1, 4096)).throughput_gbps
+        assert fast_t / slow_t == pytest.approx(4.0, rel=0.01)
+
+    def test_request_balance_metric(self):
+        balanced = self.model.simulate(stride_trace(1, 4096))
+        skewed = self.model.simulate(stride_trace(32, 4096))
+        assert balanced.request_balance > 0.99
+        assert skewed.request_balance == 0.0

@@ -1,0 +1,159 @@
+"""Tests for the mapping-aware malloc (Section 6.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import ChunkGeometry, MiB
+from repro.core.sdam import SDAMController
+from repro.errors import AllocationError
+from repro.mem.kernel import Kernel
+from repro.mem.malloc import MappingAwareAllocator
+
+SMALL = ChunkGeometry(total_bytes=64 * MiB)
+
+
+def make_allocator():
+    kernel = Kernel(SMALL, sdam=SDAMController(SMALL))
+    space = kernel.spawn()
+    return MappingAwareAllocator(kernel, space), kernel, space
+
+
+def rolled(shift: int) -> np.ndarray:
+    return np.roll(np.arange(SMALL.window_bits), shift)
+
+
+class TestMallocFree:
+    def test_basic_roundtrip(self):
+        allocator, _kernel, _space = make_allocator()
+        va = allocator.malloc(1000, tag="x")
+        assert allocator.allocation_of(va).size == 1000
+        allocator.free(va)
+        assert allocator.live_allocations() == []
+
+    def test_zero_size_rejected(self):
+        allocator, _kernel, _space = make_allocator()
+        with pytest.raises(AllocationError):
+            allocator.malloc(0)
+
+    def test_allocations_disjoint(self):
+        allocator, _kernel, _space = make_allocator()
+        blocks = [(allocator.malloc(100), 100) for _ in range(50)]
+        spans = sorted((va, va + size) for va, size in blocks)
+        for (_s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            assert e0 <= s1
+
+    def test_double_free(self):
+        allocator, _kernel, _space = make_allocator()
+        va = allocator.malloc(64)
+        allocator.free(va)
+        with pytest.raises(AllocationError):
+            allocator.free(va)
+
+    def test_free_unknown_pointer(self):
+        allocator, _kernel, _space = make_allocator()
+        with pytest.raises(AllocationError):
+            allocator.free(0xDEAD)
+
+    def test_reuse_after_free(self):
+        allocator, _kernel, _space = make_allocator()
+        va = allocator.malloc(4096)
+        allocator.free(va)
+        again = allocator.malloc(4096)
+        assert again == va  # first-fit reuses the hole
+
+    def test_large_allocation_gets_own_heap(self):
+        allocator, _kernel, _space = make_allocator()
+        va = allocator.malloc(8 * MiB)
+        assert allocator.allocation_of(va).size == 8 * MiB
+
+    def test_bytes_live_accounting(self):
+        allocator, _kernel, _space = make_allocator()
+        va = allocator.malloc(500)
+        assert allocator.bytes_live == 500
+        allocator.free(va)
+        assert allocator.bytes_live == 0
+
+
+class TestPerMappingHeaps:
+    def test_heaps_segregated_by_mapping(self):
+        allocator, _kernel, _space = make_allocator()
+        id_a = allocator.add_addr_map(rolled(1))
+        va_a = allocator.malloc(128, mapping_id=id_a, tag="a")
+        va_b = allocator.malloc(128, mapping_id=0, tag="b")
+        heap_a = allocator._find_heap(va_a, id_a)
+        heap_b = allocator._find_heap(va_b, 0)
+        assert heap_a is not heap_b
+        assert heap_a.mapping_id == id_a
+
+    def test_same_mapping_shares_heap(self):
+        allocator, _kernel, _space = make_allocator()
+        mapping_id = allocator.add_addr_map(rolled(2))
+        va1 = allocator.malloc(64, mapping_id=mapping_id)
+        va2 = allocator.malloc(64, mapping_id=mapping_id)
+        heap = allocator._find_heap(va1, mapping_id)
+        assert va2 in heap
+
+    def test_heap_pages_back_matching_chunks(self):
+        allocator, kernel, space = make_allocator()
+        mapping_id = allocator.add_addr_map(rolled(3))
+        va = allocator.malloc(64, mapping_id=mapping_id)
+        pa = space.translate(va)
+        assert (
+            kernel.physical.mapping_of_chunk(SMALL.chunk_number(pa))
+            == mapping_id
+        )
+
+    def test_full_heap_grows_new_heap(self):
+        allocator, _kernel, _space = make_allocator()
+        first = allocator.malloc(3 * MiB)
+        second = allocator.malloc(3 * MiB)
+        heap_count = len(allocator.heaps())
+        assert heap_count >= 2
+        assert first != second
+
+    def test_trim_releases_empty_heaps(self):
+        allocator, kernel, _space = make_allocator()
+        va = allocator.malloc(1 * MiB)
+        pa_before = kernel.physical.frames_in_use()
+        allocator.free(va)
+        released = allocator.trim()
+        assert released >= 1
+        assert kernel.physical.frames_in_use() <= pa_before
+
+
+class TestProfilingHooks:
+    def test_allocation_tags(self):
+        allocator, _kernel, _space = make_allocator()
+        va = allocator.malloc(256, tag="adjacency")
+        assert allocator.allocation_of(va).tag == "adjacency"
+
+    def test_interior_pointer_lookup(self):
+        allocator, _kernel, _space = make_allocator()
+        va = allocator.malloc(1024, tag="buf")
+        assert allocator.allocation_of(va + 512).tag == "buf"
+
+    def test_interior_lookup_miss(self):
+        allocator, _kernel, _space = make_allocator()
+        with pytest.raises(AllocationError):
+            allocator.allocation_of(123)
+
+
+@given(
+    sizes=st.lists(st.integers(1, 1 << 16), min_size=1, max_size=40),
+    free_order_seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_malloc_free_any_order(sizes, free_order_seed):
+    """All allocations are disjoint and freeing in any order restores
+    the heap to empty."""
+    allocator, _kernel, _space = make_allocator()
+    vas = [allocator.malloc(size) for size in sizes]
+    rng = np.random.default_rng(free_order_seed)
+    for index in rng.permutation(len(vas)):
+        allocator.free(vas[index])
+    assert allocator.bytes_live == 0
+    for heap in allocator.heaps():
+        assert heap.is_empty
+        assert heap.free_bytes == heap.size

@@ -1,0 +1,134 @@
+"""Tests for chunk remapping and live migration."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunks import ChunkGeometry, MiB
+from repro.core.sdam import SDAMController
+from repro.errors import AllocationError, CMTError
+from repro.mem.kernel import Kernel
+from repro.mem.malloc import MappingAwareAllocator
+from repro.mem.migration import ChunkMigrator
+
+SMALL = ChunkGeometry(total_bytes=32 * MiB)
+
+
+def setup_machine():
+    kernel = Kernel(SMALL, sdam=SDAMController(SMALL))
+    space = kernel.spawn()
+    malloc = MappingAwareAllocator(kernel, space)
+    migrator = ChunkMigrator(kernel)
+    return kernel, space, malloc, migrator
+
+
+def rolled(shift: int) -> np.ndarray:
+    return np.roll(np.arange(SMALL.window_bits), shift)
+
+
+class TestFreeCapacity:
+    def test_remap_free_chunks_is_cheap(self):
+        kernel, _space, malloc, migrator = setup_machine()
+        mapping_id = malloc.add_addr_map(rolled(1))
+        acquired = migrator.remap_free_capacity(mapping_id, chunks=3)
+        assert acquired == 3
+        assert kernel.physical.live_groups()[mapping_id] == 3
+
+    def test_stops_at_exhaustion(self):
+        kernel, _space, malloc, migrator = setup_machine()
+        mapping_id = malloc.add_addr_map(rolled(1))
+        acquired = migrator.remap_free_capacity(mapping_id, chunks=1000)
+        assert acquired == SMALL.num_chunks
+        assert kernel.physical.free_chunk_count == 0
+
+
+class TestLiveMigration:
+    def populate(self, kernel, space, malloc, mapping_id=0):
+        va = malloc.malloc(1 * MiB, mapping_id=mapping_id, tag="data")
+        # Touch every page so frames exist.
+        step = SMALL.page_bytes
+        addresses = np.arange(va, va + 1 * MiB, step, dtype=np.uint64)
+        space.translate_trace(addresses)
+        pa = space.translate(va)
+        return SMALL.chunk_number(pa)
+
+    def test_migration_moves_mapping(self):
+        kernel, space, malloc, migrator = setup_machine()
+        new_mapping = malloc.add_addr_map(rolled(2))
+        chunk_no = self.populate(kernel, space, malloc)
+        report = migrator.migrate_chunk(chunk_no, new_mapping)
+        assert report.old_mapping == 0
+        assert report.new_mapping == new_mapping
+        assert kernel.sdam.cmt.mapping_index_of(chunk_no) == new_mapping
+
+    def test_copy_cost_scales_with_resident_data(self):
+        kernel, space, malloc, migrator = setup_machine()
+        new_mapping = malloc.add_addr_map(rolled(3))
+        chunk_no = self.populate(kernel, space, malloc)
+        report = migrator.migrate_chunk(chunk_no, new_mapping)
+        assert report.lines_copied > 0
+        assert report.cost_ns > 0
+        # Each line is read once and written once.
+        pages = 1 * MiB // SMALL.page_bytes
+        assert report.lines_copied == pages * (SMALL.page_bytes // 64)
+
+    def test_noop_migration_free(self):
+        kernel, space, malloc, migrator = setup_machine()
+        chunk_no = self.populate(kernel, space, malloc)
+        report = migrator.migrate_chunk(chunk_no, 0)
+        assert report.cost_ns == 0.0
+        assert report.lines_copied == 0
+
+    def test_unknown_chunk_rejected(self):
+        _kernel, _space, malloc, migrator = setup_machine()
+        malloc.add_addr_map(rolled(1))
+        with pytest.raises(AllocationError):
+            migrator.migrate_chunk(5, 1)
+
+    def test_group_bookkeeping_follows(self):
+        kernel, space, malloc, migrator = setup_machine()
+        new_mapping = malloc.add_addr_map(rolled(4))
+        chunk_no = self.populate(kernel, space, malloc)
+        migrator.migrate_chunk(chunk_no, new_mapping)
+        assert kernel.physical.mapping_of_chunk(chunk_no) == new_mapping
+
+    def test_migrate_group(self):
+        kernel, space, malloc, migrator = setup_machine()
+        source = malloc.add_addr_map(rolled(1))
+        target = malloc.add_addr_map(rolled(5))
+        self.populate(kernel, space, malloc, mapping_id=source)
+        reports = migrator.migrate_group(source, target)
+        assert reports
+        assert all(r.new_mapping == target for r in reports)
+        assert kernel.physical.live_groups().get(source) is None
+
+    def test_translation_consistent_after_migration(self):
+        """Data addressed through the new mapping is still one-to-one."""
+        kernel, space, malloc, migrator = setup_machine()
+        new_mapping = malloc.add_addr_map(rolled(6))
+        chunk_no = self.populate(kernel, space, malloc)
+        migrator.migrate_chunk(chunk_no, new_mapping)
+        base = SMALL.chunk_base(chunk_no)
+        pa = np.uint64(base) + np.arange(0, SMALL.chunk_bytes, 64, dtype=np.uint64)
+        ha = kernel.sdam.translate(pa)
+        assert np.unique(ha).size == pa.size
+
+
+class TestPolicy:
+    def test_amortisation(self):
+        _kernel, _space, malloc, migrator = setup_machine()
+        from repro.mem.migration import MigrationReport
+
+        report = MigrationReport(0, 0, 1, 1000, cost_ns=10_000.0)
+        assert migrator.amortises_over(
+            report, expected_accesses=10_000,
+            old_ns_per_access=45, new_ns_per_access=15,
+        )
+        assert not migrator.amortises_over(
+            report, expected_accesses=100,
+            old_ns_per_access=45, new_ns_per_access=44,
+        )
+
+    def test_requires_sdam(self):
+        kernel = Kernel(SMALL, sdam=None)
+        with pytest.raises(CMTError):
+            ChunkMigrator(kernel)

@@ -1,0 +1,114 @@
+"""Tests for chunk groups and the physical memory manager (Section 6.1)."""
+
+import pytest
+
+from repro.core.chunks import ChunkGeometry, MiB
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.mem.physical import Chunk, PhysicalMemory
+
+SMALL = ChunkGeometry(total_bytes=16 * MiB)  # 8 chunks
+
+
+class TestChunk:
+    def test_frame_allocation_within_chunk(self):
+        chunk = Chunk(number=2, geometry=SMALL)
+        pa = chunk.alloc_frame()
+        assert SMALL.chunk_number(pa) == 2
+        assert pa % SMALL.page_bytes == 0
+
+    def test_frames_distinct(self):
+        chunk = Chunk(number=0, geometry=SMALL)
+        frames = chunk.alloc_frames(10)
+        assert len(set(frames)) == 10
+
+    def test_free_and_empty(self):
+        chunk = Chunk(number=0, geometry=SMALL)
+        pa = chunk.alloc_frame()
+        assert not chunk.is_empty
+        chunk.free_frame(pa)
+        assert chunk.is_empty
+
+    def test_free_foreign_frame_rejected(self):
+        chunk = Chunk(number=0, geometry=SMALL)
+        with pytest.raises(AllocationError):
+            chunk.free_frame(4 * MiB)
+
+    def test_capacity(self):
+        chunk = Chunk(number=0, geometry=SMALL)
+        assert chunk.free_pages == SMALL.pages_per_chunk
+
+
+class TestPhysicalMemory:
+    def test_acquire_assigns_to_group(self):
+        memory = PhysicalMemory(SMALL)
+        chunk = memory.acquire_chunk(mapping_id=3)
+        assert chunk.mapping_id == 3
+        assert memory.live_groups() == {3: 1}
+        assert memory.free_chunk_count == 7
+
+    def test_assignment_callback_fires(self):
+        events = []
+        memory = PhysicalMemory(
+            SMALL, on_chunk_assigned=lambda c, m: events.append((c, m))
+        )
+        memory.acquire_chunk(mapping_id=2)
+        assert events == [(0, 2)]
+
+    def test_frames_come_from_matching_group(self):
+        memory = PhysicalMemory(SMALL)
+        pa_a = memory.alloc_frame(mapping_id=1)
+        pa_b = memory.alloc_frame(mapping_id=2)
+        assert memory.mapping_of_chunk(SMALL.chunk_number(pa_a)) == 1
+        assert memory.mapping_of_chunk(SMALL.chunk_number(pa_b)) == 2
+
+    def test_group_grows_when_chunk_fills(self):
+        memory = PhysicalMemory(SMALL)
+        frames = memory.alloc_frames(SMALL.pages_per_chunk + 1, mapping_id=0)
+        chunks_used = {SMALL.chunk_number(pa) for pa in frames}
+        assert len(chunks_used) == 2
+
+    def test_empty_chunk_returns_to_free_list(self):
+        events = []
+        memory = PhysicalMemory(
+            SMALL, on_chunk_released=lambda c: events.append(c)
+        )
+        pa = memory.alloc_frame(mapping_id=1)
+        memory.free_frame(pa)
+        assert memory.free_chunk_count == 8
+        assert events == [SMALL.chunk_number(pa)]
+        assert memory.live_groups() == {}
+
+    def test_free_unallocated_frame(self):
+        with pytest.raises(AllocationError):
+            PhysicalMemory(SMALL).free_frame(0)
+
+    def test_release_nonempty_chunk_rejected(self):
+        memory = PhysicalMemory(SMALL)
+        chunk = memory.acquire_chunk(mapping_id=0)
+        chunk.alloc_frame()
+        with pytest.raises(AllocationError):
+            memory.release_chunk(chunk)
+
+    def test_out_of_chunks(self):
+        memory = PhysicalMemory(SMALL)
+        for _ in range(8):
+            memory.acquire_chunk(mapping_id=0)
+        with pytest.raises(OutOfMemoryError):
+            memory.acquire_chunk(mapping_id=1)
+
+    def test_fragmentation_bounded_by_pattern_count(self):
+        """Section 4: waste is bounded by #patterns, not #chunks."""
+        memory = PhysicalMemory(SMALL)
+        for mapping_id in range(4):
+            memory.alloc_frame(mapping_id)  # one page per pattern
+        stranded = memory.internal_fragmentation_pages()
+        assert stranded == 4 * (SMALL.pages_per_chunk - 1)
+        # 4 patterns -> at most 4 partially-filled chunks.
+        assert len(memory.live_groups()) == 4
+
+    def test_frames_in_use(self):
+        memory = PhysicalMemory(SMALL)
+        pa = memory.alloc_frame(mapping_id=0)
+        assert memory.frames_in_use() == 1
+        memory.free_frame(pa)
+        assert memory.frames_in_use() == 0

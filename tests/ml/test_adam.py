@@ -1,0 +1,51 @@
+"""Tests for the Adam optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.adam import Adam
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        params = {"x": np.array([5.0])}
+        optimizer = Adam(params, lr=0.1)
+        for _ in range(300):
+            grad = 2 * params["x"]
+            optimizer.step({"x": grad})
+        assert abs(params["x"][0]) < 0.01
+
+    def test_first_step_size_is_lr(self):
+        params = {"x": np.array([1.0])}
+        optimizer = Adam(params, lr=0.01, clip=0)
+        optimizer.step({"x": np.array([123.0])})
+        # Bias-corrected Adam moves ~lr on step 1 regardless of scale.
+        assert params["x"][0] == pytest.approx(1.0 - 0.01, rel=1e-3)
+
+    def test_unknown_param_rejected(self):
+        optimizer = Adam({"x": np.zeros(1)})
+        with pytest.raises(TrainingError):
+            optimizer.step({"y": np.zeros(1)})
+
+    def test_bad_lr(self):
+        with pytest.raises(TrainingError):
+            Adam({"x": np.zeros(1)}, lr=0)
+
+    def test_clipping_bounds_update(self):
+        params = {"x": np.array([0.0])}
+        optimizer = Adam(params, lr=0.1, clip=1.0)
+        optimizer.step({"x": np.array([1e9])})
+        assert abs(params["x"][0]) <= 0.11
+
+    def test_missing_grads_skip_params(self):
+        params = {"x": np.array([1.0]), "y": np.array([2.0])}
+        optimizer = Adam(params, lr=0.1)
+        optimizer.step({"x": np.array([1.0])})
+        assert params["y"][0] == 2.0
+
+    def test_updates_in_place(self):
+        x = np.array([1.0])
+        optimizer = Adam({"x": x}, lr=0.1)
+        optimizer.step({"x": np.array([1.0])})
+        assert x[0] != 1.0

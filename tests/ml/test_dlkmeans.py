@@ -1,0 +1,114 @@
+"""Tests for the DL-assisted K-Means pipeline (Section 6.2 / Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.dlkmeans import (
+    AutoencoderConfig,
+    DLAssistedKMeans,
+    EmbeddingAutoencoder,
+    paper_hyperparameters,
+)
+
+FAST = AutoencoderConfig(
+    pretrain_steps=40,
+    joint_steps=20,
+    hidden_dim=16,
+    delta_embed_dim=8,
+    vid_embed_dim=2,
+    batch_size=16,
+)
+
+
+def stride_delta_trace(stride_lines: int, count: int = 1500) -> np.ndarray:
+    addresses = np.arange(count, dtype=np.uint64) * np.uint64(stride_lines * 64)
+    return addresses[1:] ^ addresses[:-1]
+
+
+class TestAutoencoder:
+    def test_forward_shapes(self):
+        model = EmbeddingAutoencoder(
+            delta_vocab_size=8, num_variables=3, target_bits=15, config=FAST
+        )
+        delta_ids = np.zeros((4, FAST.sequence_length), dtype=np.int64)
+        vid_ids = np.zeros((4, FAST.sequence_length), dtype=np.int64)
+        z, recon, _cache = model.forward(delta_ids, vid_ids)
+        assert z.shape == (4, FAST.hidden_dim)
+        assert recon.shape == (4, FAST.sequence_length, 15)
+
+    def test_loss_decreases_under_training(self):
+        rng = np.random.default_rng(0)
+        model = EmbeddingAutoencoder(8, 2, 15, FAST)
+        from repro.ml.adam import Adam
+
+        optimizer = Adam(model.params, lr=0.01)
+        delta_ids = rng.integers(0, 8, (8, FAST.sequence_length))
+        vid_ids = np.zeros_like(delta_ids)
+        targets = (delta_ids[..., None] & 1).astype(float).repeat(15, axis=2)
+        first = None
+        last = None
+        for _step in range(30):
+            z, recon, cache = model.forward(delta_ids, vid_ids)
+            loss = model.reconstruction_loss(recon, targets)
+            if first is None:
+                first = loss
+            last = loss
+            grads = model.backward(cache, targets)
+            optimizer.step(grads)
+        assert last < first
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(TrainingError):
+            EmbeddingAutoencoder(8, 2, 0, FAST)
+
+
+class TestDLAssistedKMeans:
+    def test_separates_two_stride_families(self):
+        traces = [stride_delta_trace(1) for _ in range(3)] + [
+            stride_delta_trace(16) for _ in range(3)
+        ]
+        result = DLAssistedKMeans(2, AutoencoderConfig()).fit(traces)
+        assert len(set(result.labels[:3].tolist())) == 1
+        assert len(set(result.labels[3:].tolist())) == 1
+        assert result.labels[0] != result.labels[3]
+
+    def test_result_fields(self):
+        traces = [stride_delta_trace(1), stride_delta_trace(4)]
+        result = DLAssistedKMeans(2, FAST).fit(traces)
+        assert result.embeddings.shape == (2, FAST.hidden_dim)
+        assert result.elapsed_seconds > 0
+        assert 0 <= result.vocab_coverage <= 1
+        assert len(result.loss_history) == FAST.pretrain_steps + FAST.joint_steps
+
+    def test_short_traces_padded(self):
+        traces = [stride_delta_trace(1, count=5), stride_delta_trace(2, count=5)]
+        result = DLAssistedKMeans(2, FAST).fit(traces)
+        assert result.labels.size == 2
+
+    def test_k_clamped_to_variables(self):
+        traces = [stride_delta_trace(1), stride_delta_trace(8)]
+        result = DLAssistedKMeans(10, FAST).fit(traces)
+        assert result.centroids.shape[0] <= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            DLAssistedKMeans(2, FAST).fit([])
+
+    def test_all_empty_traces_rejected(self):
+        with pytest.raises(TrainingError):
+            DLAssistedKMeans(1, FAST).fit([np.zeros(0, dtype=np.uint64)])
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(TrainingError):
+            DLAssistedKMeans(0)
+
+
+class TestPaperHyperparameters:
+    def test_table2_values(self):
+        config = paper_hyperparameters()
+        assert config.sequence_length == 32
+        assert config.learning_rate == 0.001
+        assert config.cluster_weight == 0.01
+        assert config.hidden_dim == 256
+        assert config.pretrain_steps + config.joint_steps == 500_000

@@ -1,0 +1,71 @@
+"""Tests for embedding layers and the delta vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.embedding import DeltaVocabulary, Embedding
+
+
+class TestEmbedding:
+    def make(self, vocab=6, dim=3):
+        params = {}
+        emb = Embedding(vocab, dim, params, "e", np.random.default_rng(0))
+        return emb, params
+
+    def test_lookup_shape(self):
+        emb, _params = self.make()
+        out = emb.forward(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 3)
+
+    def test_same_id_same_vector(self):
+        emb, _params = self.make()
+        out = emb.forward(np.array([1, 1]))
+        np.testing.assert_array_equal(out[0], out[1])
+
+    def test_out_of_range(self):
+        emb, _params = self.make()
+        with pytest.raises(TrainingError):
+            emb.forward(np.array([6]))
+
+    def test_backward_accumulates_sparse(self):
+        emb, params = self.make()
+        ids = np.array([[1, 1]])
+        grads = {}
+        d_vectors = np.ones((1, 2, 3))
+        emb.backward(ids, d_vectors, grads)
+        table_grad = grads["e.table"]
+        np.testing.assert_array_equal(table_grad[1], [2.0, 2.0, 2.0])
+        assert (table_grad[0] == 0).all()
+
+    def test_invalid_dims(self):
+        with pytest.raises(TrainingError):
+            Embedding(0, 3, {}, "e", np.random.default_rng(0))
+
+
+class TestDeltaVocabulary:
+    def test_most_frequent_kept(self):
+        deltas = np.array([64] * 10 + [128] * 5 + [999] * 1, dtype=np.uint64)
+        vocab = DeltaVocabulary(max_size=3).fit(deltas)
+        ids = vocab.encode(np.array([64, 128, 999], dtype=np.uint64))
+        assert ids[0] != DeltaVocabulary.OOV
+        assert ids[1] != DeltaVocabulary.OOV
+        assert ids[2] == DeltaVocabulary.OOV
+
+    def test_coverage(self):
+        deltas = np.array([64] * 9 + [777], dtype=np.uint64)
+        vocab = DeltaVocabulary(max_size=2).fit(deltas)
+        assert vocab.coverage(deltas) == pytest.approx(0.9)
+
+    def test_empty_coverage(self):
+        vocab = DeltaVocabulary(max_size=4).fit(np.zeros(0, dtype=np.uint64))
+        assert vocab.coverage(np.zeros(0, dtype=np.uint64)) == 0.0
+
+    def test_size_counts_oov(self):
+        deltas = np.array([1, 2, 3], dtype=np.uint64)
+        vocab = DeltaVocabulary(max_size=16).fit(deltas)
+        assert vocab.size == 4
+
+    def test_min_size(self):
+        with pytest.raises(TrainingError):
+            DeltaVocabulary(max_size=1)

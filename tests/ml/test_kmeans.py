@@ -1,0 +1,95 @@
+"""Tests for the from-scratch K-Means (Equation 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrainingError
+from repro.ml.kmeans import KMeans
+
+
+def two_blobs(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0, 0.05, (n, 3)) + np.array([1.0, 0, 0])
+    b = rng.normal(0, 0.05, (n, 3)) + np.array([0, 1.0, 0])
+    return np.vstack([a, b])
+
+
+class TestFit:
+    def test_separates_two_blobs(self):
+        result = KMeans(2, seed=1).fit(two_blobs())
+        labels = result.labels
+        assert len(set(labels[:40].tolist())) == 1
+        assert len(set(labels[40:].tolist())) == 1
+        assert labels[0] != labels[40]
+
+    def test_centroids_near_blob_means(self):
+        points = two_blobs()
+        result = KMeans(2, seed=1).fit(points)
+        centroid_xs = sorted(result.centroids[:, 0].tolist())
+        assert centroid_xs[0] == pytest.approx(0.0, abs=0.05)
+        assert centroid_xs[1] == pytest.approx(1.0, abs=0.05)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points = two_blobs()
+        one = KMeans(1, seed=0).fit(points).inertia
+        two = KMeans(2, seed=0).fit(points).inertia
+        assert two < one
+
+    def test_k1_centroid_is_mean(self):
+        points = two_blobs()
+        result = KMeans(1, seed=0).fit(points)
+        np.testing.assert_allclose(result.centroids[0], points.mean(axis=0))
+
+    def test_deterministic_given_seed(self):
+        points = two_blobs()
+        a = KMeans(2, seed=5).fit(points)
+        b = KMeans(2, seed=5).fit(points)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_k_equals_n(self):
+        points = two_blobs(n=3)
+        result = KMeans(6, seed=0, n_init=1).fit(points)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        result = KMeans(2, seed=0).fit(points)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_k_zero(self):
+        with pytest.raises(TrainingError):
+            KMeans(0)
+
+    def test_too_few_points(self):
+        with pytest.raises(TrainingError):
+            KMeans(5).fit(np.zeros((2, 3)))
+
+    def test_empty(self):
+        with pytest.raises(TrainingError):
+            KMeans(1).fit(np.zeros((0, 3)))
+
+
+class TestAssign:
+    def test_nearest_centroid(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+        labels = KMeans.assign(np.array([[1.0, 1.0], [9.0, 9.0]]), centroids)
+        assert labels.tolist() == [0, 1]
+
+
+@given(seed=st.integers(0, 100), k=st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_labels_in_range_and_inertia_matches_definition(seed, k):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(30, 4))
+    result = KMeans(k, seed=seed).fit(points)
+    assert result.labels.min() >= 0 and result.labels.max() < k
+    # Eq. 2: inertia equals the summed squared distance to assigned centroids.
+    recomputed = sum(
+        float(((p - result.centroids[label]) ** 2).sum())
+        for p, label in zip(points, result.labels)
+    )
+    assert result.inertia == pytest.approx(recomputed, rel=1e-9)

@@ -1,0 +1,128 @@
+"""Gradient checks and behaviour tests for the numpy LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.lstm import LSTMCell, LSTMLayer, sigmoid
+
+
+def numeric_gradient(f, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        plus = f()
+        array[idx] = original - eps
+        minus = f()
+        array[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestSigmoid:
+    def test_range(self):
+        x = np.linspace(-50, 50, 101)
+        y = sigmoid(x)
+        assert (y >= 0).all() and (y <= 1).all()
+        moderate = sigmoid(np.linspace(-20, 20, 41))
+        assert (moderate > 0).all() and (moderate < 1).all()
+
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_no_overflow(self):
+        assert np.isfinite(sigmoid(np.array([-1000.0, 1000.0]))).all()
+
+
+class TestLSTMCell:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        params = {}
+        cell = LSTMCell(3, 5, params, "c", rng)
+        h, c, _cache = cell.forward(
+            rng.normal(size=(2, 3)), np.zeros((2, 5)), np.zeros((2, 5))
+        )
+        assert h.shape == (2, 5)
+        assert c.shape == (2, 5)
+
+    def test_invalid_dims(self):
+        with pytest.raises(TrainingError):
+            LSTMCell(0, 4, {}, "c", np.random.default_rng(0))
+
+    def test_gradient_check_full_sequence(self):
+        """Analytic BPTT gradients match numerical differentiation."""
+        rng = np.random.default_rng(42)
+        params = {}
+        layer = LSTMLayer(2, 3, params, "L", rng)
+        x = rng.normal(size=(2, 4, 2))
+        target = rng.normal(size=(2, 4, 3))
+
+        def loss_value() -> float:
+            outputs, _h, _caches = layer.forward(x)
+            return float(((outputs - target) ** 2).sum())
+
+        outputs, _h, caches = layer.forward(x)
+        d_outputs = 2 * (outputs - target)
+        grads: dict[str, np.ndarray] = {}
+        dx, _dh0 = layer.backward(d_outputs, None, caches, grads)
+
+        for name in ("L.Wx", "L.Wh", "L.b"):
+            numeric = numeric_gradient(loss_value, params[name])
+            np.testing.assert_allclose(
+                grads[name], numeric, rtol=1e-4, atol=1e-6
+            )
+        numeric_dx = numeric_gradient(loss_value, x)
+        np.testing.assert_allclose(dx, numeric_dx, rtol=1e-4, atol=1e-6)
+
+    def test_gradient_check_final_hidden(self):
+        """Gradient through only the final hidden state (encoder path)."""
+        rng = np.random.default_rng(7)
+        params = {}
+        layer = LSTMLayer(2, 3, params, "E", rng)
+        x = rng.normal(size=(1, 3, 2))
+        weight = rng.normal(size=(3,))
+
+        def loss_value() -> float:
+            _outputs, h, _caches = layer.forward(x)
+            return float((h * weight).sum())
+
+        _outputs, _h, caches = layer.forward(x)
+        grads: dict[str, np.ndarray] = {}
+        dh_last = np.broadcast_to(weight, (1, 3)).copy()
+        dx, _ = layer.backward(None, dh_last, caches, grads)
+        numeric_dx = numeric_gradient(loss_value, x)
+        np.testing.assert_allclose(dx, numeric_dx, rtol=1e-4, atol=1e-6)
+
+
+class TestLSTMLayer:
+    def test_state_carries_information(self):
+        """The final hidden state depends on early inputs."""
+        rng = np.random.default_rng(1)
+        params = {}
+        layer = LSTMLayer(1, 4, params, "L", rng)
+        x1 = np.zeros((1, 5, 1))
+        x2 = x1.copy()
+        x2[0, 0, 0] = 1.0  # perturb only the first step
+        _o1, h1, _ = layer.forward(x1)
+        _o2, h2, _ = layer.forward(x2)
+        assert not np.allclose(h1, h2)
+
+    def test_h0_used(self):
+        rng = np.random.default_rng(2)
+        params = {}
+        layer = LSTMLayer(1, 4, params, "L", rng)
+        x = np.zeros((1, 2, 1))
+        _o1, h1, _ = layer.forward(x, h0=np.zeros((1, 4)))
+        _o2, h2, _ = layer.forward(x, h0=np.ones((1, 4)))
+        assert not np.allclose(h1, h2)
+
+    def test_forget_bias_initialised(self):
+        params = {}
+        LSTMCell(2, 3, params, "c", np.random.default_rng(0))
+        bias = params["c.b"]
+        assert (bias[3:6] == 1.0).all()  # forget gate slice
+        assert (bias[:3] == 0.0).all()

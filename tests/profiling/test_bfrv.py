@@ -1,0 +1,77 @@
+"""Tests for bit-flip-rate vectors (Equation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProfilingError
+from repro.profiling.bfrv import (
+    bit_flip_rate_vector,
+    dominant_flip_bit,
+    window_flip_rates,
+)
+
+
+def stride_addresses(stride_lines: int, count: int = 512) -> np.ndarray:
+    return np.arange(count, dtype=np.uint64) * np.uint64(stride_lines * 64)
+
+
+class TestBFRV:
+    def test_streaming_hottest_bit_is_line_bit(self):
+        rates = bit_flip_rate_vector(stride_addresses(1), num_bits=20)
+        assert rates.argmax() == 6  # bit 6 flips every access
+
+    def test_stride_shifts_peak_left_to_right(self):
+        """Fig. 3(b): increasing stride moves the flip peak upward."""
+        peaks = [
+            dominant_flip_bit(stride_addresses(s), num_bits=24)
+            for s in (1, 2, 4, 8, 16)
+        ]
+        assert peaks == [6, 7, 8, 9, 10]
+
+    def test_flip_rate_halves_up_the_carry_chain(self):
+        rates = bit_flip_rate_vector(stride_addresses(1), num_bits=10)
+        assert rates[6] == pytest.approx(1.0, abs=0.01)
+        assert rates[7] == pytest.approx(0.5, abs=0.01)
+        assert rates[8] == pytest.approx(0.25, abs=0.02)
+
+    def test_constant_trace_all_zero(self):
+        rates = bit_flip_rate_vector(np.full(100, 0x1234, dtype=np.uint64), 16)
+        assert (rates == 0).all()
+
+    def test_short_trace(self):
+        assert (bit_flip_rate_vector(np.array([1], dtype=np.uint64), 8) == 0).all()
+        assert (bit_flip_rate_vector(np.zeros(0, dtype=np.uint64), 8) == 0).all()
+
+    def test_bit_offset(self):
+        rates = bit_flip_rate_vector(stride_addresses(1), num_bits=5, bit_offset=6)
+        assert rates[0] == pytest.approx(1.0, abs=0.01)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ProfilingError):
+            bit_flip_rate_vector(stride_addresses(1), num_bits=0)
+
+
+class TestWindowRates:
+    def test_window_matches_offset_form(self):
+        addresses = stride_addresses(4)
+        window = window_flip_rates(addresses, (6, 21))
+        direct = bit_flip_rate_vector(addresses, 15, bit_offset=6)
+        np.testing.assert_allclose(window, direct)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ProfilingError):
+            window_flip_rates(stride_addresses(1), (10, 10))
+
+
+@given(
+    stride_pow=st.integers(0, 6),
+    count=st.integers(16, 256),
+)
+@settings(max_examples=30, deadline=None)
+def test_rates_bounded_and_peak_tracks_stride(stride_pow, count):
+    addresses = stride_addresses(1 << stride_pow, count)
+    rates = bit_flip_rate_vector(addresses, num_bits=30)
+    assert (rates >= 0).all() and (rates <= 1).all()
+    assert rates.argmax() == 6 + stride_pow

@@ -1,0 +1,125 @@
+"""Tests for trace profiling and major-variable identification."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import AccessTrace
+from repro.errors import ProfilingError
+from repro.profiling.profiler import profile_trace
+from repro.profiling.variables import VariableRegistry
+
+
+def build_scene():
+    """Three variables with 70/20/10 reference shares."""
+    registry = VariableRegistry()
+    registry.record_allocation("big", 0x10000, 0x10000)
+    registry.record_allocation("mid", 0x30000, 0x10000)
+    registry.record_allocation("small", 0x50000, 0x10000)
+    rng = np.random.default_rng(0)
+    parts = []
+    tags = []
+    for base, count, tag in ((0x10000, 700, 0), (0x30000, 200, 1), (0x50000, 100, 2)):
+        parts.append(base + rng.integers(0, 0x10000, count, dtype=np.uint64))
+        tags.append(np.full(count, tag))
+    order = rng.permutation(1000)
+    va = np.concatenate(parts)[order]
+    variable = np.concatenate(tags)[order]
+    trace = AccessTrace(va=va, variable=variable)
+    return registry, trace
+
+
+class TestProfileTrace:
+    def test_reference_counts(self):
+        registry, trace = build_scene()
+        profile = profile_trace(trace, registry, name="scene")
+        assert profile.total_references == 1000
+        assert profile.by_name("big").references == 700
+
+    def test_profiles_sorted_by_references(self):
+        registry, trace = build_scene()
+        profile = profile_trace(trace, registry)
+        refs = [p.references for p in profile.profiles]
+        assert refs == sorted(refs, reverse=True)
+
+    def test_attribution_fallback_matches_tags(self):
+        registry, trace = build_scene()
+        tagged = profile_trace(trace, registry)
+        untagged_trace = AccessTrace(va=trace.va)
+        attributed = profile_trace(untagged_trace, registry, use_tags=False)
+        assert tagged.by_name("big").references == attributed.by_name(
+            "big"
+        ).references
+
+    def test_unattributed_excluded_from_total(self):
+        registry = VariableRegistry()
+        registry.record_allocation("only", 0x1000, 0x100)
+        trace = AccessTrace(va=np.array([0x1000, 0x9000], dtype=np.uint64))
+        profile = profile_trace(trace, registry, use_tags=False)
+        assert profile.total_references == 1
+
+    def test_sub_trace_addresses(self):
+        registry, trace = build_scene()
+        profile = profile_trace(trace, registry)
+        big = profile.by_name("big")
+        assert (big.addresses >= 0x10000).all()
+        assert (big.addresses < 0x20000).all()
+
+    def test_by_name_missing(self):
+        registry, trace = build_scene()
+        profile = profile_trace(trace, registry)
+        with pytest.raises(ProfilingError):
+            profile.by_name("nothing")
+
+
+class TestMajorVariables:
+    def test_eighty_percent_rule(self):
+        registry, trace = build_scene()
+        profile = profile_trace(trace, registry)
+        majors = profile.major_variables()
+        # big (70%) alone is < 80%; big+mid (90%) crosses it.
+        assert [m.name for m in majors] == ["big", "mid"]
+
+    def test_full_coverage_takes_all(self):
+        registry, trace = build_scene()
+        profile = profile_trace(trace, registry)
+        assert len(profile.major_variables(coverage=1.0)) == 3
+
+    def test_tiny_coverage_takes_top_one(self):
+        registry, trace = build_scene()
+        profile = profile_trace(trace, registry)
+        assert [m.name for m in profile.major_variables(0.1)] == ["big"]
+
+    def test_invalid_coverage(self):
+        registry, trace = build_scene()
+        profile = profile_trace(trace, registry)
+        with pytest.raises(ProfilingError):
+            profile.major_variables(0)
+
+    def test_table1_row_shape(self):
+        registry, trace = build_scene()
+        profile = profile_trace(trace, registry, name="scene")
+        row = profile.table1_row()
+        assert row["benchmark"] == "scene"
+        assert row["num_variables"] == 3
+        assert row["num_major_variables"] == 2
+        assert row["min_major_size_mb"] <= row["avg_major_size_mb"]
+
+
+class TestDeltaTrace:
+    def test_delta_is_xor(self):
+        registry = VariableRegistry()
+        registry.record_allocation("v", 0, 1 << 20)
+        trace = AccessTrace(
+            va=np.array([0, 64, 192], dtype=np.uint64),
+            variable=np.array([0, 0, 0]),
+        )
+        profile = profile_trace(trace, registry)
+        deltas = profile.by_name("v").delta_trace()
+        assert deltas.tolist() == [64, 64 ^ 192]
+
+    def test_single_access_empty_delta(self):
+        registry = VariableRegistry()
+        registry.record_allocation("v", 0, 4096)
+        trace = AccessTrace(va=np.array([0], dtype=np.uint64), variable=np.array([0]))
+        profile = profile_trace(trace, registry)
+        assert profile.by_name("v").delta_trace().size == 0

@@ -1,0 +1,91 @@
+"""Tests for the allocation-site registry (call-stack-matching stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling.variables import UNATTRIBUTED, VariableRegistry
+
+
+class TestRegistry:
+    def test_variable_created_once(self):
+        registry = VariableRegistry()
+        a = registry.variable("adjacency")
+        b = registry.variable("adjacency")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_ids_sequential(self):
+        registry = VariableRegistry()
+        assert registry.variable("a").variable_id == 0
+        assert registry.variable("b").variable_id == 1
+
+    def test_record_allocation_grows_footprint(self):
+        registry = VariableRegistry()
+        registry.record_allocation("a", va=0x1000, size=256)
+        registry.record_allocation("a", va=0x8000, size=256)
+        assert registry.variable("a").size_bytes == 512
+        assert len(registry.variable("a").regions) == 2
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ProfilingError):
+            VariableRegistry().record_allocation("a", 0, 0)
+
+    def test_by_id(self):
+        registry = VariableRegistry()
+        registry.record_allocation("x", 0x100, 16)
+        assert registry.by_id(0).name == "x"
+        with pytest.raises(ProfilingError):
+            registry.by_id(5)
+
+    def test_covers(self):
+        registry = VariableRegistry()
+        info = registry.record_allocation("x", 0x100, 16)
+        assert info.covers(0x100)
+        assert info.covers(0x10F)
+        assert not info.covers(0x110)
+
+
+class TestAttribution:
+    def test_basic_attribution(self):
+        registry = VariableRegistry()
+        registry.record_allocation("a", 0x1000, 0x100)
+        registry.record_allocation("b", 0x2000, 0x100)
+        addresses = np.array([0x1000, 0x2080, 0x1050, 0x9999], dtype=np.uint64)
+        owners = registry.attribute(addresses)
+        assert owners.tolist() == [0, 1, 0, UNATTRIBUTED]
+
+    def test_boundaries_half_open(self):
+        registry = VariableRegistry()
+        registry.record_allocation("a", 0x1000, 0x100)
+        owners = registry.attribute(
+            np.array([0xFFF, 0x1000, 0x10FF, 0x1100], dtype=np.uint64)
+        )
+        assert owners.tolist() == [UNATTRIBUTED, 0, 0, UNATTRIBUTED]
+
+    def test_multiple_regions_one_variable(self):
+        registry = VariableRegistry()
+        registry.record_allocation("a", 0x1000, 0x100)
+        registry.record_allocation("a", 0x5000, 0x100)
+        owners = registry.attribute(np.array([0x1010, 0x5010], dtype=np.uint64))
+        assert owners.tolist() == [0, 0]
+
+    def test_empty_registry(self):
+        registry = VariableRegistry()
+        owners = registry.attribute(np.array([1, 2], dtype=np.uint64))
+        assert (owners == UNATTRIBUTED).all()
+
+    def test_overlapping_regions_rejected(self):
+        registry = VariableRegistry()
+        registry.record_allocation("a", 0x1000, 0x200)
+        registry.record_allocation("b", 0x1100, 0x100)
+        with pytest.raises(ProfilingError):
+            registry.attribute(np.array([0x1000], dtype=np.uint64))
+
+    def test_index_rebuild_after_new_allocation(self):
+        registry = VariableRegistry()
+        registry.record_allocation("a", 0x1000, 0x100)
+        registry.attribute(np.array([0x1000], dtype=np.uint64))
+        registry.record_allocation("b", 0x3000, 0x100)
+        owners = registry.attribute(np.array([0x3000], dtype=np.uint64))
+        assert owners.tolist() == [1]

@@ -1,0 +1,65 @@
+"""Tests for system configurations."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.system.config import SystemConfig, standard_systems, system_by_key
+
+
+class TestStandardSystems:
+    def test_full_comparison_set(self):
+        systems = standard_systems()
+        labels = [s.label for s in systems]
+        assert labels == [
+            "BS+DM",
+            "BS+BSM",
+            "BS+HM",
+            "SDM+BSM",
+            "SDM+BSM+ML(4)",
+            "SDM+BSM+ML(32)",
+            "SDM+BSM+DL(4)",
+            "SDM+BSM+DL(32)",
+        ]
+
+    def test_baseline_first(self):
+        assert standard_systems()[0].key == "bs_dm"
+
+    def test_profiling_requirements(self):
+        by_key = {s.key: s for s in standard_systems()}
+        assert not by_key["bs_dm"].needs_profiling
+        assert not by_key["bs_hm"].needs_profiling
+        assert by_key["bs_bsm"].needs_profiling
+        assert by_key["sdm_bsm"].needs_profiling
+
+    def test_custom_cluster_counts(self):
+        systems = standard_systems(cluster_counts=(8,))
+        assert any(s.key == "sdm_bsm_ml8" for s in systems)
+
+
+class TestLookup:
+    def test_known_keys(self):
+        assert system_by_key("bs_hm").label == "BS+HM"
+        assert system_by_key("sdm_bsm_dl32").clusters == 32
+
+    def test_arbitrary_cluster_count(self):
+        system = system_by_key("sdm_bsm_ml7")
+        assert system.clusters == 7
+        assert system.clustering == "kmeans"
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            system_by_key("nonsense")
+
+
+class TestValidation:
+    def test_clustering_requires_sdam(self):
+        with pytest.raises(ConfigError):
+            SystemConfig("x", "X", sdam=False, policy="bsm", clustering="kmeans", clusters=4)
+
+    def test_clusters_positive(self):
+        with pytest.raises(ConfigError):
+            SystemConfig("x", "X", sdam=True, policy="bsm", clustering="dl", clusters=0)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            SystemConfig("x", "X", sdam=False, policy="magic")

@@ -1,0 +1,61 @@
+"""Tests for multiprogrammed (co-run) execution with a shared CMT."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.system.corun import CorunMachine
+from repro.workloads import MixedStrideWorkload, StridedCopyWorkload
+
+
+def small_apps():
+    return [
+        StridedCopyWorkload(stride_lines=16, accesses_per_thread=1500),
+        StridedCopyWorkload(stride_lines=4, accesses_per_thread=1500),
+    ]
+
+
+class TestCorun:
+    def test_runs_and_reports(self):
+        machine = CorunMachine(clusters_per_app=2)
+        result = machine.run(small_apps())
+        assert result.stats.requests > 0
+        assert result.workload_names == ["copy-stride16", "copy-stride4"]
+
+    def test_sdam_beats_baseline(self):
+        apps = small_apps()
+        base = CorunMachine(use_sdam=False).run(apps)
+        sdam = CorunMachine(use_sdam=True, clusters_per_app=2).run(apps)
+        assert sdam.time_ns < base.time_ns
+
+    def test_mapping_budget_shared(self):
+        machine = CorunMachine(clusters_per_app=2)
+        result = machine.run(small_apps())
+        # identity + up to 2 clusters per app.
+        assert result.live_mappings <= 1 + 2 * 2
+
+    def test_budget_never_overflows(self):
+        apps = [
+            MixedStrideWorkload(strides=(1, 4, 8, 16), accesses_per_stride=800)
+            for _ in range(3)
+        ]
+        machine = CorunMachine(clusters_per_app=4, max_mappings=256)
+        result = machine.run(apps)
+        assert result.live_mappings <= 256
+
+    def test_small_budget_still_works(self):
+        apps = small_apps()
+        tight = CorunMachine(clusters_per_app=1).run(apps)
+        roomy = CorunMachine(clusters_per_app=4).run(apps)
+        assert tight.stats.requests == pytest.approx(
+            roomy.stats.requests, rel=0.1
+        )
+        # More clusters never hurt badly.
+        assert roomy.time_ns <= tight.time_ns * 1.15
+
+    def test_no_workloads_rejected(self):
+        with pytest.raises(ConfigError):
+            CorunMachine().run([])
+
+    def test_bad_cluster_count(self):
+        with pytest.raises(ConfigError):
+            CorunMachine(clusters_per_app=0)

@@ -1,0 +1,81 @@
+"""Tests for trace and profile persistence."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import AccessTrace
+from repro.errors import ProfilingError
+from repro.system.machine import Machine
+from repro.system.config import system_by_key
+from repro.system.tracefile import (
+    load_profile,
+    load_trace,
+    save_profile,
+    save_trace,
+)
+from repro.core.selection import select_mappings_kmeans
+from repro.workloads import MixedStrideWorkload
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        trace = AccessTrace(
+            va=np.array([64, 128, 192], dtype=np.uint64),
+            is_write=np.array([True, False, True]),
+            variable=np.array([0, 1, 0]),
+        )
+        path = save_trace(tmp_path / "trace.npz", trace)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.va, trace.va)
+        np.testing.assert_array_equal(loaded.is_write, trace.is_write)
+        np.testing.assert_array_equal(loaded.variable, trace.variable)
+
+    def test_empty_trace(self, tmp_path):
+        trace = AccessTrace(va=np.zeros(0, dtype=np.uint64))
+        loaded = load_trace(save_trace(tmp_path / "empty.npz", trace))
+        assert len(loaded) == 0
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, format=np.int64(999), va=np.zeros(1, dtype=np.uint64),
+                 is_write=np.zeros(1, dtype=bool), variable=np.zeros(1))
+        with pytest.raises(ProfilingError):
+            load_trace(path)
+
+
+class TestProfileRoundtrip:
+    def test_offline_profile_reuse(self, tmp_path):
+        """Profile once, persist, select mappings from the loaded copy."""
+        workload = MixedStrideWorkload(
+            strides=(1, 16), accesses_per_stride=1500
+        )
+        machine = Machine(system_by_key("bs_dm"))
+        profile = machine.profile(workload)
+        path = save_profile(tmp_path / "profile.npz", profile)
+        loaded = load_profile(path)
+        assert loaded.name == profile.name
+        assert loaded.total_references == profile.total_references
+        assert loaded.num_variables == profile.num_variables
+        # The loaded profile drives mapping selection identically.
+        original = select_mappings_kmeans(
+            profile, 2, machine.layout, machine.geometry, coverage=1.0
+        )
+        reloaded = select_mappings_kmeans(
+            loaded, 2, machine.layout, machine.geometry, coverage=1.0
+        )
+        assert [p.tolist() for p in original.window_perms] == [
+            p.tolist() for p in reloaded.window_perms
+        ]
+
+    def test_sub_traces_preserved(self, tmp_path):
+        workload = MixedStrideWorkload(
+            strides=(4,), accesses_per_stride=800
+        )
+        machine = Machine(system_by_key("bs_dm"))
+        profile = machine.profile(workload)
+        loaded = load_profile(save_profile(tmp_path / "p.npz", profile))
+        for original, restored in zip(profile.profiles, loaded.profiles):
+            assert original.name == restored.name
+            np.testing.assert_array_equal(
+                original.addresses, restored.addresses
+            )

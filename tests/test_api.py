@@ -1,0 +1,45 @@
+"""Tests for the convenience API surface."""
+
+import pytest
+
+from repro import api
+from repro.errors import ConfigError
+
+
+class TestBuilders:
+    def test_build_machine_default(self):
+        machine = api.build_machine()
+        assert machine.system.key == "sdm_bsm"
+
+    def test_build_machine_unknown(self):
+        with pytest.raises(ConfigError):
+            api.build_machine("warp_drive")
+
+    def test_strided_workload(self):
+        workload = api.strided_workload(stride_lines=8)
+        assert workload.stride_lines == 8
+
+    def test_mixed_workload(self):
+        workload = api.mixed_stride_workload(strides=(1, 2))
+        assert workload.threads == 2
+
+
+class TestCompareSystems:
+    def test_quick_comparison(self):
+        workload = api.mixed_stride_workload(
+            strides=(1, 16), accesses_per_stride=1500
+        )
+        results = api.compare_systems(
+            workload, system_keys=("bs_dm", "sdm_bsm_ml4")
+        )
+        assert set(results) == {"BS+DM", "SDM+BSM+ML(4)"}
+        assert results["SDM+BSM+ML(4)"].time_ns < results["BS+DM"].time_ns
+
+
+class TestFullEvaluation:
+    def test_quick_sweep_produces_table(self):
+        table = api.full_evaluation(quick=True)
+        assert len(table.workloads()) == 4
+        assert "BS+DM" in table.systems()
+        for system in table.systems():
+            assert table.geomean(system) > 0

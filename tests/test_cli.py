@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_hw(self, capsys):
+        assert main(["hw"]) == 0
+        out = capsys.readouterr().out
+        assert "AMU" in out and "CMT" in out
+
+    def test_stride(self, capsys):
+        assert main(["stride", "--accesses", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "stride" in out and "204.8" in out
+
+    def test_audit_ok(self, capsys):
+        assert main(["audit", "--mappings", "4", "--chunks", "8"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "SDM+BSM" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])

@@ -1,0 +1,115 @@
+"""Tests for the analytics and IR workloads."""
+
+import numpy as np
+
+from repro.workloads.analytics import HashJoinWorkload, MergeJoinWorkload
+from repro.workloads.ir import HNSWWorkload, IVFPQWorkload, KMeansWorkload
+
+
+def bases(workload) -> dict[str, int]:
+    base = {}
+    cursor = 0x10000000
+    for spec in workload.variables():
+        base[spec.name] = cursor
+        cursor += spec.size_bytes + 4096
+    return base
+
+
+class TestHashJoin:
+    def test_reference_matches(self):
+        w = HashJoinWorkload(build_tuples=1024, probe_tuples=2048)
+        matches = w.run_reference()
+        assert 0 < matches <= 2048
+
+    def test_reference_varies_with_input(self):
+        w = HashJoinWorkload(build_tuples=1024, probe_tuples=2048)
+        assert w.run_reference(0) != w.run_reference(7)
+
+    def test_trace_phases(self):
+        w = HashJoinWorkload(max_accesses=4000, threads=2)
+        traces = w.trace(bases(w))
+        merged = np.concatenate([t.variable for t in traces])
+        # Build scan (0), probe scan (1), hash table (2), output (3).
+        assert {0, 1, 2, 3} <= set(merged.tolist())
+
+    def test_hash_table_touched_randomly(self):
+        w = HashJoinWorkload(max_accesses=6000, threads=1)
+        trace = w.trace(bases(w))[0]
+        table = trace.va[trace.variable == 2]
+        assert np.unique(table).size > 100
+
+
+class TestMergeJoin:
+    def test_reference(self):
+        w = MergeJoinWorkload(tuples=2048)
+        assert 0 < w.run_reference() <= 2048
+
+    def test_key_column_scan_is_strided(self):
+        w = MergeJoinWorkload(tuples=4096, max_accesses=8000, threads=1)
+        trace = w.trace(bases(w))[0]
+        keys = trace.va[(trace.variable == 1) & ~trace.is_write]
+        deltas = np.diff(keys)
+        forward = deltas[deltas > 0]
+        # Key extraction skips the 256 B tuple body: stride 4 lines.
+        assert (forward == 256).mean() > 0.8
+
+    def test_output_written(self):
+        w = MergeJoinWorkload(tuples=2048, max_accesses=4000, threads=1)
+        trace = w.trace(bases(w))[0]
+        out = trace.variable == 3
+        assert out.any()
+        assert trace.is_write[out].all()
+
+
+class TestKMeansWorkload:
+    def test_reference_labels(self):
+        w = KMeansWorkload(points=512, dims=8, k=4, iterations=2)
+        labels = w.run_reference()
+        assert labels.size == 512
+        assert labels.min() >= 0 and labels.max() < 4
+
+    def test_trace_streams_points(self):
+        w = KMeansWorkload(points=1024, dims=16, max_accesses=4000, threads=1)
+        trace = w.trace(bases(w))[0]
+        points = trace.va[trace.variable == 0]
+        assert points.size > 100
+        # Two Lloyd iterations interleave; within the stream, forward
+        # motion is always one cache line (row-major streaming).
+        deltas = np.diff(points[:100])
+        moving = deltas[deltas > 0]
+        assert moving.size > 0
+        assert (moving == 64).mean() > 0.8
+
+
+class TestHNSW:
+    def test_search_returns_nodes(self):
+        w = HNSWWorkload(nodes=512, dims=8, queries=16)
+        results = w.run_reference()
+        assert results.size == 16
+        assert (results < 512).all()
+
+    def test_greedy_descent_improves(self):
+        """The returned node is at least as close as the entry node."""
+        w = HNSWWorkload(nodes=512, dims=8, queries=8)
+        _results, visited = w._search(0)
+        for path in visited:
+            assert path.size >= 1
+
+    def test_trace_mixes_vectors_and_adjacency(self):
+        w = HNSWWorkload(nodes=512, dims=8, queries=32, max_accesses=4000, threads=1)
+        trace = w.trace(bases(w))[0]
+        assert {0, 1} <= set(trace.variable.tolist())
+
+
+class TestIVFPQ:
+    def test_probed_lists_in_range(self):
+        w = IVFPQWorkload(lists=64, queries=8, probes=4)
+        probed = w.probed_lists()
+        assert probed.shape == (8, 4)
+        assert (probed < 64).all()
+
+    def test_trace_dominant_variable_is_lists(self):
+        w = IVFPQWorkload(max_accesses=8000, threads=1)
+        trace = w.trace(bases(w))[0]
+        counts = np.bincount(trace.variable[trace.variable >= 0])
+        assert counts.argmax() == 1  # inverted lists dominate

@@ -1,0 +1,88 @@
+"""Determinism guards for every workload family.
+
+The evaluation methodology depends on reproducible traces: profiling
+and evaluation runs must see exactly the same program for a given
+input seed, and different seeds must actually change the input.  A
+workload that silently consumed global RNG state would break both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BFSWorkload,
+    HNSWWorkload,
+    HashJoinWorkload,
+    IVFPQWorkload,
+    KMeansWorkload,
+    MergeJoinWorkload,
+    MixedStrideWorkload,
+    PageRankWorkload,
+    SSSPWorkload,
+    spec2006_workload,
+)
+
+
+def bases(workload) -> dict[str, int]:
+    base = {}
+    cursor = 0x10000000
+    for spec in workload.variables():
+        base[spec.name] = cursor
+        cursor += spec.size_bytes + 4096
+    return base
+
+
+def small_instances():
+    return [
+        BFSWorkload(scale=9, edge_factor=4, max_accesses=3000),
+        PageRankWorkload(scale=9, edge_factor=4, max_accesses=3000),
+        SSSPWorkload(scale=9, edge_factor=4, max_accesses=3000),
+        HashJoinWorkload(build_tuples=1024, probe_tuples=2048, max_accesses=3000),
+        MergeJoinWorkload(tuples=2048, max_accesses=3000),
+        KMeansWorkload(points=512, dims=8, max_accesses=3000),
+        HNSWWorkload(nodes=512, dims=16, queries=16, max_accesses=3000),
+        IVFPQWorkload(lists=32, vectors_per_list=64, queries=8, max_accesses=3000),
+        MixedStrideWorkload(strides=(1, 8), accesses_per_stride=500),
+        spec2006_workload("hmmer", total_accesses=3000),
+    ]
+
+
+@pytest.mark.parametrize(
+    "workload", small_instances(), ids=lambda w: w.name
+)
+def test_same_seed_reproduces_trace(workload):
+    base = bases(workload)
+    first = workload.trace(base, input_seed=0)
+    second = workload.trace(base, input_seed=0)
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        np.testing.assert_array_equal(a.va, b.va)
+        np.testing.assert_array_equal(a.variable, b.variable)
+        np.testing.assert_array_equal(a.is_write, b.is_write)
+
+
+@pytest.mark.parametrize(
+    "workload", small_instances(), ids=lambda w: w.name
+)
+def test_different_seed_changes_trace(workload):
+    base = bases(workload)
+    first = np.concatenate([t.va for t in workload.trace(base, input_seed=0)])
+    second = np.concatenate([t.va for t in workload.trace(base, input_seed=5)])
+    assert first.size and second.size
+    if first.size == second.size:
+        assert not np.array_equal(first, second)
+
+
+@pytest.mark.parametrize(
+    "workload", small_instances(), ids=lambda w: w.name
+)
+def test_traces_are_tagged_and_in_bounds(workload):
+    base = bases(workload)
+    specs = workload.variables()
+    limit = max(base[s.name] + s.size_bytes for s in specs)
+    for trace in workload.trace(base, input_seed=1):
+        if len(trace) == 0:
+            continue
+        assert (trace.variable >= 0).all()
+        assert (trace.variable < len(specs)).all()
+        assert int(trace.va.max()) < limit

@@ -1,0 +1,142 @@
+"""Tests for the Table-1-calibrated application models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.models import (
+    MajorVariableModel,
+    ModeledWorkload,
+    major_sizes_mb,
+)
+from repro.workloads.parsec import PARSEC_TABLE1, parsec_suite, parsec_workload
+from repro.workloads.spec import SPEC2006_TABLE1, spec2006_suite, spec2006_workload
+
+
+def bases(workload) -> dict[str, int]:
+    base = {}
+    cursor = 0x10000000
+    for spec in workload.variables():
+        base[spec.name] = cursor
+        cursor += spec.size_bytes + 4096
+    return base
+
+
+class TestSizeRamp:
+    def test_mean_and_min_exact(self):
+        sizes = major_sizes_mb(10, avg_mb=59, min_mb=4)
+        assert np.mean(sizes) == pytest.approx(59)
+        assert min(sizes) == pytest.approx(4)
+
+    def test_single_variable(self):
+        assert major_sizes_mb(1, 910, 910) == [910]
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            major_sizes_mb(0, 1, 1)
+
+
+class TestMajorVariableModel:
+    def test_alloc_clamped(self):
+        tiny = MajorVariableModel("v", nominal_mb=0.001, pattern="stream")
+        huge = MajorVariableModel("w", nominal_mb=10_000, pattern="stream")
+        assert tiny.alloc_bytes == 2 * 1024 * 1024
+        assert huge.alloc_bytes == 16 * 1024 * 1024
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigError):
+            MajorVariableModel("v", 1, "zigzag")
+
+
+class TestModeledWorkload:
+    def make(self, **overrides):
+        majors = [
+            MajorVariableModel("app_v0", 64, "stream"),
+            MajorVariableModel("app_v1", 32, "stride16"),
+        ]
+        defaults = dict(
+            name="app",
+            majors=majors,
+            nominal_variable_count=100,
+            total_accesses=4000,
+            threads=2,
+        )
+        defaults.update(overrides)
+        return ModeledWorkload(**defaults)
+
+    def test_variables_include_minors(self):
+        w = self.make(minor_variables=3)
+        assert len(w.variables()) == 5
+
+    def test_minor_count_bounded_by_population(self):
+        w = self.make(nominal_variable_count=2, minor_variables=10)
+        assert len(w.variables()) == 2
+
+    def test_major_share(self):
+        w = self.make()
+        traces = w.trace(bases(w))
+        total = sum(len(t) for t in traces)
+        major = sum(int((t.variable < 2).sum()) for t in traces)
+        assert major / total > 0.7
+
+    def test_traces_stay_in_variables(self):
+        w = self.make()
+        base = bases(w)
+        specs = {spec.name: spec for spec in w.variables()}
+        for trace in w.trace(base):
+            for name, spec in specs.items():
+                mask = trace.variable == w.variable_id(name)
+                if mask.any():
+                    va = trace.va[mask]
+                    assert (va >= base[name]).all()
+                    assert (va < base[name] + spec.size_bytes).all()
+
+    def test_table1_nominal(self):
+        w = self.make()
+        row = w.table1_nominal()
+        assert row["num_variables"] == 100
+        assert row["num_major_variables"] == 2
+        assert row["avg_major_size_mb"] == pytest.approx(48)
+
+    def test_seed_changes_trace(self):
+        w = self.make()
+        base = bases(w)
+        a = w.trace(base, input_seed=0)[0]
+        b = w.trace(base, input_seed=1)[0]
+        assert not np.array_equal(a.va, b.va)
+
+    def test_requires_major(self):
+        with pytest.raises(ConfigError):
+            ModeledWorkload("x", majors=[], nominal_variable_count=10)
+
+
+class TestCatalogues:
+    def test_spec_suite_complete(self):
+        suite = spec2006_suite()
+        assert len(suite) == 12  # all SPEC2006 integer benchmarks
+
+    def test_parsec_suite_complete(self):
+        assert len(parsec_suite()) == 7
+
+    @pytest.mark.parametrize("name", list(SPEC2006_TABLE1))
+    def test_spec_matches_table1(self, name):
+        w = spec2006_workload(name)
+        row = w.table1_nominal()
+        num_vars, num_major, avg, _min = SPEC2006_TABLE1[name]
+        assert row["num_variables"] == num_vars
+        assert row["num_major_variables"] == num_major
+        assert row["avg_major_size_mb"] == pytest.approx(avg, rel=0.01)
+
+    @pytest.mark.parametrize("name", list(PARSEC_TABLE1))
+    def test_parsec_matches_table1(self, name):
+        w = parsec_workload(name)
+        row = w.table1_nominal()
+        num_vars, num_major, avg, min_mb = PARSEC_TABLE1[name]
+        assert row["num_variables"] == num_vars
+        assert row["num_major_variables"] == num_major
+        assert row["min_major_size_mb"] == pytest.approx(min_mb, rel=0.01)
+
+    def test_mcf_uses_arc_node_records(self):
+        w = spec2006_workload("mcf")
+        assert w.majors[0].pattern == "record4"
+        assert any(m.pattern == "chase" for m in w.majors)

@@ -1,0 +1,70 @@
+"""Tests for the synthetic strided-copy workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import MixedStrideWorkload, StridedCopyWorkload
+
+
+def bases(workload) -> dict[str, int]:
+    base = {}
+    cursor = 0x100000
+    for spec in workload.variables():
+        base[spec.name] = cursor
+        cursor += spec.size_bytes + 4096
+    return base
+
+
+class TestStridedCopy:
+    def test_variables(self):
+        w = StridedCopyWorkload(stride_lines=4)
+        names = [v.name for v in w.variables()]
+        assert names == ["src", "dst"]
+
+    def test_one_trace_per_thread(self):
+        w = StridedCopyWorkload(threads=3, accesses_per_thread=100)
+        traces = w.trace(bases(w))
+        assert len(traces) == 3
+
+    def test_reads_and_writes_paired(self):
+        w = StridedCopyWorkload(threads=1, accesses_per_thread=100)
+        trace = w.trace(bases(w))[0]
+        assert trace.is_write.sum() == 50
+        assert set(trace.variable.tolist()) == {0, 1}
+
+    def test_stride_visible_in_src_stream(self):
+        w = StridedCopyWorkload(stride_lines=8, threads=1, accesses_per_thread=64)
+        base = bases(w)
+        trace = w.trace(base)[0]
+        src = trace.va[trace.variable == 0]
+        assert np.diff(src[:8]).tolist() == [8 * 64] * 7
+
+    def test_input_seed_changes_phase_not_pattern(self):
+        w = StridedCopyWorkload(stride_lines=4, threads=1, accesses_per_thread=64)
+        base = bases(w)
+        a = w.trace(base, input_seed=0)[0]
+        b = w.trace(base, input_seed=1)[0]
+        assert not np.array_equal(a.va, b.va)
+        np.testing.assert_array_equal(np.diff(a.va[a.variable == 0])[:5],
+                                      np.diff(b.va[b.variable == 0])[:5])
+
+
+class TestMixedStride:
+    def test_one_thread_per_stride(self):
+        w = MixedStrideWorkload(strides=(1, 4, 16))
+        assert w.threads == 3
+        assert len(w.variables()) == 6
+
+    def test_each_thread_has_own_variables(self):
+        w = MixedStrideWorkload(strides=(1, 16), accesses_per_stride=32)
+        traces = w.trace(bases(w))
+        assert set(traces[0].variable.tolist()) == {0, 1}
+        assert set(traces[1].variable.tolist()) == {2, 3}
+
+    def test_empty_strides_rejected(self):
+        with pytest.raises(ValueError):
+            MixedStrideWorkload(strides=())
+
+    def test_footprint(self):
+        w = MixedStrideWorkload(strides=(1, 2), buffer_bytes=1 << 20)
+        assert w.total_footprint() == 4 << 20
