@@ -18,7 +18,7 @@ from repro.system import run_suite, standard_systems
 from repro.system.reporting import format_table
 from repro.workloads import data_intensive_suite, parsec_suite, spec2006_suite
 
-from conftest import is_quick
+from conftest import is_quick, sweep_kwargs
 
 # Laptop-scale DL config: same architecture, fewer steps.
 DL_CONFIG = AutoencoderConfig(pretrain_steps=60, joint_steps=30)
@@ -36,8 +36,9 @@ def suites():
 def run_fig12():
     systems = standard_systems()
     standard, data_intensive = suites()
-    std_table = run_suite(standard, systems=systems, dl_config=DL_CONFIG)
-    di_table = run_suite(data_intensive, systems=systems, dl_config=DL_CONFIG)
+    kwargs = dict(dl_config=DL_CONFIG, **sweep_kwargs())
+    std_table = run_suite(standard, systems=systems, **kwargs)
+    di_table = run_suite(data_intensive, systems=systems, **kwargs)
     return std_table, di_table
 
 

@@ -13,7 +13,7 @@ from repro.system import core_sweep, frequency_sweep, system_by_key
 from repro.system.reporting import format_series
 from repro.workloads import parsec_workload, spec2006_workload
 
-from conftest import is_quick
+from conftest import is_quick, sweep_kwargs
 
 DL_CONFIG = AutoencoderConfig(pretrain_steps=60, joint_steps=30)
 
@@ -34,19 +34,20 @@ def workloads():
 def run_fig14():
     system = system_by_key("sdm_bsm_ml32")
     baseline = system_by_key("bs_dm")
+    kwargs = dict(dl_config=DL_CONFIG, **sweep_kwargs())
     freq = frequency_sweep(
         workloads(),
         system,
         baseline,
         scales=(1.0, 0.5, 0.25),
-        dl_config=DL_CONFIG,
+        **kwargs,
     )
     cores = core_sweep(
         workloads(),
         system,
         baseline,
         core_counts=(1, 2, 4),
-        dl_config=DL_CONFIG,
+        **kwargs,
     )
     return freq, cores
 

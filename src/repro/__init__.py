@@ -6,10 +6,47 @@ hardware models, the chunk-aware OS memory allocators, the access-
 pattern profiler, the K-Means / DL-assisted mapping selection, and a
 trace-driven HBM simulator to evaluate it all on.
 
-The curated convenience surface lives in :mod:`repro.api`; subsystem
-packages (``repro.core``, ``repro.hbm``, ``repro.mem``, ``repro.cpu``,
-``repro.profiling``, ``repro.ml``, ``repro.workloads``,
-``repro.system``) expose the full interfaces.
+The curated convenience surface is re-exported here (and lives in
+:mod:`repro.api`); subsystem packages (``repro.core``, ``repro.hbm``,
+``repro.mem``, ``repro.cpu``, ``repro.profiling``, ``repro.ml``,
+``repro.workloads``, ``repro.system``) expose the full interfaces.
 """
 
-__version__ = "1.0.0"
+from repro.api import (
+    Session,
+    default_cache_dir,
+    evaluation_workloads,
+    mixed_stride_workload,
+    strided_workload,
+)
+from repro.system import (
+    ExperimentRunner,
+    Machine,
+    MachineResult,
+    SpeedupTable,
+    SuiteResult,
+    SystemConfig,
+    run_suite,
+    standard_systems,
+    system_by_key,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "ExperimentRunner",
+    "Machine",
+    "MachineResult",
+    "Session",
+    "SpeedupTable",
+    "SuiteResult",
+    "SystemConfig",
+    "__version__",
+    "default_cache_dir",
+    "evaluation_workloads",
+    "mixed_stride_workload",
+    "run_suite",
+    "standard_systems",
+    "strided_workload",
+    "system_by_key",
+]

@@ -9,7 +9,8 @@ without writing any code:
 * ``audit``   — build an SDAM controller, register mappings, verify
   the Section 4 correctness properties;
 * ``suite``   — a quick Fig. 12-style sweep (pass ``--full`` for the
-  complete suites).
+  complete suites, ``--workers N`` to parallelise, ``--cache-dir`` to
+  memoise stages on disk, ``--json`` for machine-readable output).
 """
 
 from __future__ import annotations
@@ -26,17 +27,18 @@ def cmd_demo(_args) -> int:
     from repro.system.reporting import format_table
 
     workload = api.mixed_stride_workload()
+    session = api.Session(cache_dir=None, workers=0)
     rows = []
     baseline = None
-    for label, result in api.compare_systems(
+    for result in session.compare(
         workload,
-        system_keys=("bs_dm", "bs_bsm", "bs_hm", "sdm_bsm", "sdm_bsm_ml4"),
-    ).items():
+        systems=("bs_dm", "bs_bsm", "bs_hm", "sdm_bsm", "sdm_bsm_ml4"),
+    ).values():
         if baseline is None:
             baseline = result.time_ns
         rows.append(
             {
-                "system": label,
+                "system": result.system,
                 "throughput_gbps": result.stats.throughput_gbps,
                 "speedup": baseline / result.time_ns,
             }
@@ -117,13 +119,31 @@ def cmd_suite(args) -> int:
     from repro import api
     from repro.system.reporting import format_table
 
-    table = api.full_evaluation(quick=not args.full)
-    rows = table.to_rows()
-    geo: dict[str, object] = {"workload": "GEOMEAN"}
-    for system in table.systems():
-        geo[system] = table.geomean(system)
-    rows.append(geo)
-    print(format_table(rows, title="speedup over BS+DM"))
+    session = api.Session(cache_dir=args.cache_dir, workers=args.workers)
+    suite = session.full_evaluation(quick=not args.full)
+    if args.json:
+        print(suite.to_json(indent=2))
+    else:
+        table = suite.table
+        rows = table.to_rows()
+        geo: dict[str, object] = {"workload": "GEOMEAN"}
+        for system in table.systems():
+            geo[system] = table.geomean(system)
+        rows.append(geo)
+        print(format_table(rows, title="speedup over BS+DM"))
+        print(
+            f"wall {suite.wall_seconds:.1f}s, workers {suite.workers}, "
+            f"cache {suite.cache_hits} hits / {suite.cache_misses} misses, "
+            f"{suite.bytes_simulated / 1e6:.1f} MB simulated"
+        )
+    if suite.errors:
+        for error in suite.errors:
+            print(
+                f"error: {error.workload} x {error.system} "
+                f"[{error.stage}]: {error.message}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -142,7 +162,22 @@ def main(argv: list[str] | None = None) -> int:
     audit.add_argument("--chunks", type=int, default=32)
     audit.add_argument("--seed", type=int, default=0)
     suite = sub.add_parser("suite", help="Fig. 12-style speedup sweep")
-    suite.add_argument("--full", action="store_true")
+    scope = suite.add_mutually_exclusive_group()
+    scope.add_argument(
+        "--quick", action="store_true", help="trimmed sweep (default)"
+    )
+    scope.add_argument(
+        "--full", action="store_true", help="complete workload suites"
+    )
+    suite.add_argument(
+        "--workers", type=int, default=0, help="worker processes (0 = serial)"
+    )
+    suite.add_argument(
+        "--cache-dir", default=None, help="persist stage outputs here"
+    )
+    suite.add_argument(
+        "--json", action="store_true", help="emit the full suite result as JSON"
+    )
     args = parser.parse_args(argv)
     handlers = {
         "demo": cmd_demo,

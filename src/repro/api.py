@@ -1,19 +1,41 @@
 """Convenience surface: one import for the common SDAM workflows.
 
+The primary entry point is :class:`Session` — it owns a stage cache
+and a worker pool, so every run/compare/sweep gets memoisation and
+parallelism by default::
+
+    from repro import Session
+
+    session = Session(workers=4)
+    result = session.run(mixed_stride_workload(), "sdm_bsm_ml4")
+    sweep = session.sweep(workloads)          # cached + parallel
+    sweep.table.geomean("SDM+BSM+ML(4)")
+
 For anything beyond these helpers, use the subsystem packages directly
 (``repro.core``, ``repro.hbm``, ``repro.mem``, ``repro.cpu``,
 ``repro.profiling``, ``repro.ml``, ``repro.workloads``,
 ``repro.system``).
+
+The pre-Session helpers (``build_machine``, ``compare_systems``,
+``full_evaluation``) remain as deprecated shims.
 """
 
 from __future__ import annotations
+
+import os
+import warnings
+from pathlib import Path
 
 from repro.core import ChunkGeometry, SDAMController
 from repro.hbm import HBMConfig, WindowModel, hbm2_config
 from repro.ml import AutoencoderConfig
 from repro.system import (
+    ExperimentRunner,
     Machine,
     MachineResult,
+    SpeedupTable,
+    SuiteResult,
+    SystemConfig,
     run_suite,
     standard_systems,
     system_by_key,
@@ -28,17 +50,189 @@ from repro.workloads import (
 )
 
 __all__ = [
-    "build_machine",
+    "Session",
+    "default_cache_dir",
+    "evaluation_workloads",
     "strided_workload",
     "mixed_stride_workload",
+    # deprecated shims
+    "build_machine",
     "compare_systems",
     "full_evaluation",
 ]
 
+QUICK_DL_CONFIG = AutoencoderConfig(pretrain_steps=40, joint_steps=20)
 
-def build_machine(system: str = "sdm_bsm", **machine_kwargs) -> Machine:
-    """A ready-to-run machine for a system key (e.g. ``sdm_bsm_dl32``)."""
-    return Machine(system_by_key(system), **machine_kwargs)
+_UNSET = object()  # "use the default cache dir" sentinel
+
+
+def default_cache_dir() -> str:
+    """The default on-disk stage cache location.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise a ``repro-sdam`` directory
+    under ``$XDG_CACHE_HOME`` (or ``~/.cache``).
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")
+    return str(Path(xdg) / "repro-sdam")
+
+
+def _resolve_system(system: str | SystemConfig) -> SystemConfig:
+    return system if isinstance(system, SystemConfig) else system_by_key(system)
+
+
+class Session:
+    """An experiment session: one stage cache, one worker budget.
+
+    Every ``run``/``compare``/``sweep`` goes through a shared
+    :class:`~repro.system.runner.ExperimentRunner`, so profiling
+    passes, mapping selections and whole results are computed once and
+    reused — across systems, across calls, and (through the on-disk
+    cache) across processes.
+
+    Parameters
+    ----------
+    cache_dir:
+        Stage-cache directory.  Defaults to :func:`default_cache_dir`;
+        pass ``None`` to keep the cache in memory only.
+    workers:
+        Worker processes for independent cells.  ``0``/``1`` is
+        serial in-process; ``None`` picks a small machine-appropriate
+        default.
+    cell_timeout:
+        Per-cell time budget (seconds) for parallel sweeps; an
+        overrunning cell is recorded as an error instead of stalling
+        the sweep.
+    machine_kwargs:
+        Platform configuration forwarded to every
+        :class:`~repro.system.machine.Machine` (``hbm``, ``geometry``,
+        ``engine``, ``cores``, ``dl_config``, ...).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | None | object = _UNSET,
+        workers: int | None = None,
+        cell_timeout: float | None = None,
+        **machine_kwargs,
+    ):
+        if cache_dir is _UNSET:
+            cache_dir = default_cache_dir()
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        self.machine_kwargs = machine_kwargs
+        self.runner = ExperimentRunner(
+            cache_dir=cache_dir,
+            max_workers=workers,
+            cell_timeout=cell_timeout,
+        )
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def cache_dir(self) -> str | None:
+        """Where stage outputs are persisted (None = memory only)."""
+        return self.runner.cache_dir
+
+    @property
+    def workers(self) -> int:
+        """The configured worker-process budget."""
+        return self.runner.max_workers
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(cache_dir={self.cache_dir!r}, workers={self.workers})"
+        )
+
+    # -- the API -------------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        system: str | SystemConfig = "sdm_bsm",
+        *,
+        profile_seed: int = 0,
+        eval_seed: int = 1,
+    ) -> MachineResult:
+        """One workload under one system, cached."""
+        return self.runner.run_one(
+            workload,
+            _resolve_system(system),
+            profile_seed=profile_seed,
+            eval_seed=eval_seed,
+            **self.machine_kwargs,
+        )
+
+    def compare(
+        self,
+        workload: Workload,
+        systems: tuple[str | SystemConfig, ...] = (
+            "bs_dm",
+            "bs_hm",
+            "sdm_bsm",
+            "sdm_bsm_ml4",
+        ),
+        *,
+        profile_seed: int = 0,
+        eval_seed: int = 1,
+    ) -> dict[str, MachineResult]:
+        """One workload under several systems, keyed by the *caller's*
+        system key (so duplicate labels cannot collide)."""
+        results: dict[str, MachineResult] = {}
+        for system in systems:
+            config = _resolve_system(system)
+            key = system if isinstance(system, str) else config.key
+            results[key] = self.run(
+                workload,
+                config,
+                profile_seed=profile_seed,
+                eval_seed=eval_seed,
+            )
+        return results
+
+    def sweep(
+        self,
+        workloads: list[Workload],
+        systems: list[SystemConfig | str] | None = None,
+        *,
+        profile_seed: int = 0,
+        eval_seed: int = 1,
+    ) -> SuiteResult:
+        """Every workload under every system: cached, parallel, and
+        failure-isolated.
+
+        Returns a :class:`~repro.system.runner.SuiteResult` carrying
+        the speedup table, per-stage metrics (wall time, cache
+        hits/misses, bytes simulated) and any per-cell errors.
+        """
+        resolved = (
+            [_resolve_system(s) for s in systems] if systems else None
+        )
+        return self.runner.run_suite(
+            workloads,
+            systems=resolved,
+            profile_seed=profile_seed,
+            eval_seed=eval_seed,
+            **self.machine_kwargs,
+        )
+
+    def full_evaluation(self, *, quick: bool = True) -> SuiteResult:
+        """The Fig. 12 sweep: all workloads x all systems.
+
+        ``quick=True`` trims the suites and uses a small DL
+        configuration; ``quick=False`` reproduces the full benchmark
+        run (minutes, cold).
+        """
+        workloads = evaluation_workloads(quick=quick)
+        if quick:
+            self.machine_kwargs.setdefault("dl_config", QUICK_DL_CONFIG)
+        return self.sweep(workloads, systems=standard_systems())
+
+
+def evaluation_workloads(*, quick: bool = True) -> list[Workload]:
+    """The Fig. 12 workload population (trimmed when ``quick``)."""
+    workloads = spec2006_suite() + parsec_suite() + data_intensive_suite()
+    return workloads[:4] if quick else workloads
 
 
 def strided_workload(stride_lines: int = 16, **kwargs) -> Workload:
@@ -53,30 +247,47 @@ def mixed_stride_workload(
     return MixedStrideWorkload(strides=strides, **kwargs)
 
 
+# ---------------------------------------------------------------------------
+# Deprecated shims (pre-Session surface)
+# ---------------------------------------------------------------------------
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.api.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def build_machine(system: str = "sdm_bsm", **machine_kwargs) -> Machine:
+    """Deprecated: build a Machine directly or use :class:`Session`."""
+    _deprecated("build_machine", "repro.Machine / Session.run")
+    return Machine(system_by_key(system), **machine_kwargs)
+
+
 def compare_systems(
     workload: Workload,
+    *,
     system_keys: tuple[str, ...] = ("bs_dm", "bs_hm", "sdm_bsm", "sdm_bsm_ml4"),
     **machine_kwargs,
 ) -> dict[str, MachineResult]:
-    """Run one workload under several systems; keyed by system label."""
-    results: dict[str, MachineResult] = {}
-    for key in system_keys:
-        machine = build_machine(key, **machine_kwargs)
-        result = machine.run(workload)
-        results[result.system] = result
-    return results
+    """Deprecated: use :meth:`Session.compare`.
 
-
-def full_evaluation(quick: bool = True, **machine_kwargs):
-    """The Fig. 12 sweep: all workloads x all systems.
-
-    ``quick=True`` trims the suites and uses a small DL configuration;
-    ``quick=False`` reproduces the full benchmark run (minutes).
+    Results are keyed by the *requested* system key (historically they
+    were keyed by the system label, which silently overwrote entries
+    when two configurations shared a label).
     """
-    workloads = spec2006_suite() + parsec_suite() + data_intensive_suite()
-    if quick:
-        workloads = workloads[:4]
-        machine_kwargs.setdefault(
-            "dl_config", AutoencoderConfig(pretrain_steps=40, joint_steps=20)
-        )
-    return run_suite(workloads, systems=standard_systems(), **machine_kwargs)
+    _deprecated("compare_systems", "Session.compare")
+    session = Session(cache_dir=None, workers=0, **machine_kwargs)
+    return session.compare(workload, system_keys)
+
+
+def full_evaluation(*, quick: bool = True, **machine_kwargs) -> SpeedupTable:
+    """Deprecated: use :meth:`Session.full_evaluation`.
+
+    Returns the bare :class:`SpeedupTable` (the Session variant also
+    carries stage metrics and error capture).
+    """
+    _deprecated("full_evaluation", "Session.full_evaluation")
+    session = Session(cache_dir=None, workers=0, **machine_kwargs)
+    return session.full_evaluation(quick=quick).raise_errors().table

@@ -74,3 +74,39 @@ class RunStats:
             f"CLP {self.clp_utilization:.2f} "
             f"({self.channels_touched}/{self.num_channels} channels)"
         )
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form; :meth:`from_dict` round-trips it."""
+        return {
+            "requests": self.requests,
+            "bytes_moved": self.bytes_moved,
+            "makespan_ns": self.makespan_ns,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "num_channels": self.num_channels,
+            "per_channel_requests": [
+                int(v) for v in self.per_channel_requests
+            ],
+            "per_channel_busy_ns": [
+                float(v) for v in self.per_channel_busy_ns
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        """Rebuild stats written by :meth:`to_dict`."""
+        return cls(
+            requests=int(data["requests"]),
+            bytes_moved=int(data["bytes_moved"]),
+            makespan_ns=float(data["makespan_ns"]),
+            row_hits=int(data["row_hits"]),
+            row_misses=int(data["row_misses"]),
+            num_channels=int(data["num_channels"]),
+            per_channel_requests=np.asarray(
+                data["per_channel_requests"], dtype=np.int64
+            ),
+            per_channel_busy_ns=np.asarray(
+                data["per_channel_busy_ns"], dtype=np.float64
+            ),
+        )

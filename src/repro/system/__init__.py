@@ -1,4 +1,4 @@
-"""System composition: configurations, machines, experiments."""
+"""System composition: configurations, machines, experiments, runner."""
 
 from repro.system.config import SystemConfig, standard_systems, system_by_key
 from repro.system.corun import CorunMachine, CorunResult
@@ -8,29 +8,48 @@ from repro.system.experiment import (
     frequency_sweep,
     run_suite,
 )
-from repro.system.machine import Machine, MachineResult
+from repro.system.machine import ExternalSummary, Machine, MachineResult
 from repro.system.reporting import format_series, format_table
+from repro.system.runner import (
+    CellError,
+    ExperimentRunner,
+    StageMetrics,
+    SuiteResult,
+)
+from repro.system.stages import MachineParams
 from repro.system.tracefile import (
+    StageStore,
     load_profile,
+    load_selection,
     load_trace,
     save_profile,
+    save_selection,
     save_trace,
 )
 
 __all__ = [
+    "CellError",
     "CorunMachine",
     "CorunResult",
+    "ExperimentRunner",
+    "ExternalSummary",
     "Machine",
+    "MachineParams",
     "MachineResult",
     "SpeedupTable",
+    "StageMetrics",
+    "StageStore",
+    "SuiteResult",
     "SystemConfig",
     "core_sweep",
     "format_series",
     "format_table",
     "frequency_sweep",
     "load_profile",
+    "load_selection",
     "load_trace",
     "save_profile",
+    "save_selection",
     "save_trace",
     "run_suite",
     "standard_systems",

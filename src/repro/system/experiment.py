@@ -12,11 +12,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cpu.trace import AccessTrace
 from repro.errors import ConfigError
-from repro.profiling.profiler import WorkloadProfile, profile_trace
-from repro.system.config import SystemConfig, standard_systems
-from repro.system.machine import Machine, MachineResult
+from repro.system.config import SystemConfig
+from repro.system.machine import MachineResult
 from repro.workloads.base import Workload
 
 __all__ = ["SpeedupTable", "run_suite", "frequency_sweep", "core_sweep"]
@@ -73,24 +71,56 @@ class SpeedupTable:
             rows.append(row)
         return rows
 
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form; :meth:`from_dict` round-trips it."""
+        return {
+            "baseline_label": self.baseline_label,
+            "results": {
+                workload: {
+                    system: result.to_dict()
+                    for system, result in row.items()
+                }
+                for workload, row in self.results.items()
+            },
+        }
 
-def _suite_mix_profile(
-    machine: Machine, workloads: list[Workload], profile_seed: int
-) -> WorkloadProfile:
-    """The combined profile of every workload (the BS+BSM policy input)."""
-    addresses = []
-    for workload in workloads:
-        profile = machine.profile(workload, input_seed=profile_seed)
-        addresses.extend(p.addresses for p in profile.profiles)
-    if not addresses:
-        raise ConfigError("suite produced no profiled addresses")
-    combined = np.concatenate(addresses)
-    from repro.profiling.variables import VariableRegistry
+    def to_json(self, **json_kwargs) -> str:
+        """JSON text of :meth:`to_dict`."""
+        import json
 
-    registry = VariableRegistry()
-    registry.record_allocation("mix", 0, 1 << 40)
-    trace = AccessTrace(va=combined)
-    return profile_trace(trace, registry, name="suite-mix", use_tags=False)
+        return json.dumps(self.to_dict(), **json_kwargs)
+
+    def fingerprint(self) -> dict:
+        """The deterministic content: per-result fingerprints only.
+
+        Wall-clock timing fields are zeroed, so two sweeps of the same
+        cells compare equal however they were executed (serially, over
+        a process pool, or from the stage cache).
+        """
+        return {
+            "baseline_label": self.baseline_label,
+            "results": {
+                workload: {
+                    system: result.fingerprint()
+                    for system, result in row.items()
+                }
+                for workload, row in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpeedupTable":
+        """Rebuild a table written by :meth:`to_dict`."""
+        table = cls(baseline_label=data["baseline_label"])
+        table.results = {
+            workload: {
+                system: MachineResult.from_dict(result)
+                for system, result in row.items()
+            }
+            for workload, row in data["results"].items()
+        }
+        return table
 
 
 def run_suite(
@@ -98,29 +128,34 @@ def run_suite(
     systems: list[SystemConfig] | None = None,
     profile_seed: int = 0,
     eval_seed: int = 1,
+    cache_dir: str | None = None,
+    max_workers: int = 0,
+    cell_timeout: float | None = None,
     **machine_kwargs,
 ) -> SpeedupTable:
-    """Run every workload under every system; speedups vs ``BS+DM``."""
-    systems = systems or standard_systems()
-    if not workloads:
-        raise ConfigError("no workloads given")
-    baseline_label = systems[0].label
-    table = SpeedupTable(baseline_label=baseline_label)
-    mix_profile: WorkloadProfile | None = None
-    if any(s.policy == "bsm" and not s.sdam for s in systems):
-        probe_machine = Machine(systems[0], **machine_kwargs)
-        mix_profile = _suite_mix_profile(probe_machine, workloads, profile_seed)
-    for system in systems:
-        machine = Machine(system, **machine_kwargs)
-        for workload in workloads:
-            result = machine.run(
-                workload,
-                profile_seed=profile_seed,
-                eval_seed=eval_seed,
-                mix_profile=mix_profile,
-            )
-            table.add(result)
-    return table
+    """Run every workload under every system; speedups vs ``BS+DM``.
+
+    A thin wrapper over :class:`repro.system.runner.ExperimentRunner`:
+    pass ``cache_dir`` to memoise stage outputs on disk and
+    ``max_workers`` to fan the cells out over worker processes.  Any
+    failing cell raises (use the runner directly for per-cell error
+    capture and the structured stage metrics).
+    """
+    from repro.system.runner import ExperimentRunner
+
+    runner = ExperimentRunner(
+        cache_dir=cache_dir,
+        max_workers=max_workers,
+        cell_timeout=cell_timeout,
+    )
+    suite = runner.run_suite(
+        workloads,
+        systems=systems,
+        profile_seed=profile_seed,
+        eval_seed=eval_seed,
+        **machine_kwargs,
+    )
+    return suite.raise_errors().table
 
 
 def frequency_sweep(
@@ -130,7 +165,11 @@ def frequency_sweep(
     scales: tuple[float, ...] = (1.0, 0.5, 0.25),
     **machine_kwargs,
 ) -> dict[float, float]:
-    """Fig. 14: geomean speedup as the HBM slows down."""
+    """Fig. 14: geomean speedup as the HBM slows down.
+
+    ``cache_dir``/``max_workers`` pass through to :func:`run_suite`, so
+    the per-scale sweeps share one stage cache.
+    """
     from repro.hbm.config import hbm2_config
 
     out: dict[float, float] = {}
@@ -150,7 +189,11 @@ def core_sweep(
     core_counts: tuple[int, ...] = (1, 2, 4),
     **machine_kwargs,
 ) -> dict[int, float]:
-    """Fig. 14 companion: geomean speedup vs core count."""
+    """Fig. 14 companion: geomean speedup vs core count.
+
+    ``cache_dir``/``max_workers`` pass through to :func:`run_suite`, so
+    the per-count sweeps share one stage cache.
+    """
     out: dict[int, float] = {}
     for cores in core_counts:
         table = run_suite(

@@ -53,12 +53,34 @@ from repro.profiling.variables import VariableRegistry
 from repro.system.config import SystemConfig
 from repro.workloads.base import Workload
 
-__all__ = ["Machine", "MachineResult"]
+__all__ = ["ExternalSummary", "Machine", "MachineResult"]
 
 # End-to-end time model: compute overlaps poorly with a saturated memory
 # system, so total time = memory makespan + accesses * per-access work.
 CPU_COMPUTE_NS_PER_ACCESS = 1.0  # per-access pipeline work, BOOM-scaled
 ACCEL_COMPUTE_NS_PER_ACCESS = 0.15  # deep custom pipelines
+
+
+@dataclass(frozen=True)
+class ExternalSummary:
+    """Cache-behaviour numbers of a run, without the trace arrays.
+
+    Serialized results keep the external-trace *statistics* but not the
+    address stream itself; this stand-in exposes the same aggregate
+    interface as :class:`~repro.cpu.cpu.ExternalTraceResult`.
+    """
+
+    l1_hit_rate: float
+    llc_hit_rate: float
+    program_accesses: int
+    external_accesses: int
+
+    @property
+    def miss_fraction(self) -> float:
+        """External accesses per program access."""
+        if self.program_accesses == 0:
+            return 0.0
+        return self.external_accesses / self.program_accesses
 
 
 @dataclass
@@ -68,7 +90,7 @@ class MachineResult:
     workload: str
     system: str
     stats: RunStats
-    external: ExternalTraceResult
+    external: ExternalTraceResult | ExternalSummary | None
     selection: MappingSelection | None
     compute_ns: float
     profiling_seconds: float = 0.0
@@ -90,6 +112,121 @@ class MachineResult:
             f"{self.stats.throughput_gbps:7.1f} GB/s  "
             f"CLP {self.stats.clp_utilization:.2f}  "
             f"time {self.time_ns / 1e3:.1f} us"
+        )
+
+    # -- serialization -------------------------------------------------------
+    def external_summary(self) -> ExternalSummary | None:
+        """The external-trace statistics, trace arrays dropped."""
+        if self.external is None:
+            return None
+        if isinstance(self.external, ExternalSummary):
+            return self.external
+        return ExternalSummary(
+            l1_hit_rate=float(self.external.l1_hit_rate),
+            llc_hit_rate=float(self.external.llc_hit_rate),
+            program_accesses=int(self.external.program_accesses),
+            external_accesses=len(self.external.trace),
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form.
+
+        Bulk arrays (the external address trace, the selection's
+        window permutations) are reduced to their statistics:
+        everything speedup computation and reporting consume survives
+        the round trip, so cached and fresh results are
+        interchangeable.
+        """
+        external = self.external_summary()
+        selection = None
+        if self.selection is not None:
+            selection = {
+                "method": self.selection.method,
+                "k": int(self.selection.k),
+                "num_mappings": len(self.selection.window_perms)
+                or int(self.selection.details.get("num_mappings", 0)),
+                "variable_cluster": {
+                    str(var): int(cluster)
+                    for var, cluster in self.selection.variable_cluster.items()
+                },
+                "elapsed_seconds": float(self.selection.elapsed_seconds),
+            }
+        return {
+            "workload": self.workload,
+            "system": self.system,
+            "stats": self.stats.to_dict(),
+            "external": None
+            if external is None
+            else {
+                "l1_hit_rate": external.l1_hit_rate,
+                "llc_hit_rate": external.llc_hit_rate,
+                "program_accesses": external.program_accesses,
+                "external_accesses": external.external_accesses,
+            },
+            "selection": selection,
+            "compute_ns": self.compute_ns,
+            "profiling_seconds": self.profiling_seconds,
+        }
+
+    def to_json(self, **json_kwargs) -> str:
+        """JSON text of :meth:`to_dict`."""
+        import json
+
+        return json.dumps(self.to_dict(), **json_kwargs)
+
+    def fingerprint(self) -> dict:
+        """:meth:`to_dict` with wall-clock timing fields zeroed.
+
+        Two runs of the same cell are bit-identical on everything but
+        the host's measured profiling time; this is the deterministic
+        content, for equivalence checks across serial, parallel and
+        cached execution.
+        """
+        data = self.to_dict()
+        data["profiling_seconds"] = 0.0
+        if data["selection"] is not None:
+            data["selection"]["elapsed_seconds"] = 0.0
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineResult":
+        """Rebuild a result written by :meth:`to_dict`.
+
+        The reconstructed ``selection`` carries the clustering summary
+        (method, k, variable->cluster) but no window permutations, and
+        ``external`` comes back as an :class:`ExternalSummary`.
+        """
+        external = None
+        if data.get("external") is not None:
+            ext = data["external"]
+            external = ExternalSummary(
+                l1_hit_rate=float(ext["l1_hit_rate"]),
+                llc_hit_rate=float(ext["llc_hit_rate"]),
+                program_accesses=int(ext["program_accesses"]),
+                external_accesses=int(ext["external_accesses"]),
+            )
+        selection = None
+        if data.get("selection") is not None:
+            sel = data["selection"]
+            selection = MappingSelection(
+                method=sel["method"],
+                k=int(sel["k"]),
+                window_perms=[],
+                variable_cluster={
+                    int(var): int(cluster)
+                    for var, cluster in sel["variable_cluster"].items()
+                },
+                elapsed_seconds=float(sel["elapsed_seconds"]),
+                details={"num_mappings": int(sel["num_mappings"])},
+            )
+        return cls(
+            workload=data["workload"],
+            system=data["system"],
+            stats=RunStats.from_dict(data["stats"]),
+            external=external,
+            selection=selection,
+            compute_ns=float(data["compute_ns"]),
+            profiling_seconds=float(data.get("profiling_seconds", 0.0)),
         )
 
 
@@ -178,7 +315,7 @@ class Machine:
     # modelled minor tail on the default mapping.
     SELECTION_COVERAGE = 0.95
 
-    def _select(self, profile: WorkloadProfile) -> MappingSelection:
+    def select(self, profile: WorkloadProfile) -> MappingSelection:
         system = self.system
         if system.clustering == "kmeans":
             return select_mappings_kmeans(
@@ -225,20 +362,26 @@ class Machine:
         profile_seed: int = 0,
         eval_seed: int = 1,
         mix_profile: WorkloadProfile | None = None,
+        profile: WorkloadProfile | None = None,
+        selection: MappingSelection | None = None,
     ) -> MachineResult:
         """Profile (if needed), select mappings, evaluate, simulate.
 
         ``mix_profile`` overrides the profile used by the global
         ``BS+BSM`` policy — the experiment driver passes the suite-wide
-        mix, matching the paper's methodology.
+        mix, matching the paper's methodology.  ``profile`` and
+        ``selection`` inject precomputed stage outputs (the experiment
+        runner's cache); when given, the corresponding pipeline stage
+        is skipped.
         """
         system = self.system
-        selection: MappingSelection | None = None
         profiling_seconds = 0.0
 
         if system.sdam:
-            profile = self.profile(workload, input_seed=profile_seed)
-            selection = self._select(profile)
+            if selection is None:
+                if profile is None:
+                    profile = self.profile(workload, input_seed=profile_seed)
+                selection = self.select(profile)
             profiling_seconds = selection.elapsed_seconds
             sdam = SDAMController(self.geometry)
             kernel = Kernel(
@@ -258,7 +401,9 @@ class Machine:
             )
             mapping_of_variable = {}
             if system.policy == "bsm" and mix_profile is None:
-                mix_profile = self.profile(workload, input_seed=profile_seed)
+                mix_profile = profile or self.profile(
+                    workload, input_seed=profile_seed
+                )
 
         space, _allocator, base, _registry = self._allocate(
             kernel, workload, mapping_of_variable

@@ -10,23 +10,30 @@ from the evaluation runs that consume it.
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.selection import MappingSelection
 from repro.cpu.trace import AccessTrace
 from repro.errors import ProfilingError
 from repro.profiling.profiler import VariableProfile, WorkloadProfile
 
 __all__ = [
+    "StageStore",
     "save_trace",
     "load_trace",
     "save_profile",
     "load_profile",
+    "save_selection",
+    "load_selection",
 ]
 
 TRACE_FORMAT = 1
 PROFILE_FORMAT = 1
+SELECTION_FORMAT = 1
 
 
 def save_trace(path: str | Path, trace: AccessTrace) -> Path:
@@ -73,6 +80,54 @@ def save_profile(path: str | Path, profile: WorkloadProfile) -> Path:
     return path if path.suffix == ".npz" else path.with_suffix(".npz")
 
 
+def save_selection(path: str | Path, selection: MappingSelection) -> Path:
+    """Write a mapping selection (window perms + bindings) to disk."""
+    path = Path(path)
+    variable_ids = np.asarray(
+        sorted(selection.variable_cluster), dtype=np.int64
+    )
+    clusters = np.asarray(
+        [selection.variable_cluster[int(v)] for v in variable_ids],
+        dtype=np.int64,
+    )
+    perms = (
+        np.stack(selection.window_perms)
+        if selection.window_perms
+        else np.zeros((0, 0), dtype=np.int64)
+    )
+    np.savez_compressed(
+        path,
+        format=np.int64(SELECTION_FORMAT),
+        method=np.bytes_(selection.method.encode()),
+        k=np.int64(selection.k),
+        window_perms=perms,
+        variable_ids=variable_ids,
+        clusters=clusters,
+        elapsed_seconds=np.float64(selection.elapsed_seconds),
+        details=np.bytes_(json.dumps(selection.details).encode()),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(".npz")
+
+
+def load_selection(path: str | Path) -> MappingSelection:
+    """Read a selection written by :func:`save_selection`."""
+    with np.load(Path(path)) as archive:
+        if int(archive["format"]) != SELECTION_FORMAT:
+            raise ProfilingError("unsupported selection file format")
+        perms = archive["window_perms"]
+        return MappingSelection(
+            method=bytes(archive["method"]).decode(),
+            k=int(archive["k"]),
+            window_perms=[perms[i] for i in range(perms.shape[0])],
+            variable_cluster={
+                int(v): int(c)
+                for v, c in zip(archive["variable_ids"], archive["clusters"])
+            },
+            elapsed_seconds=float(archive["elapsed_seconds"]),
+            details=json.loads(bytes(archive["details"]).decode()),
+        )
+
+
 def load_profile(path: str | Path) -> WorkloadProfile:
     """Read a profile written by :func:`save_profile`."""
     with np.load(Path(path)) as archive:
@@ -94,3 +149,112 @@ def load_profile(path: str | Path) -> WorkloadProfile:
             profiles=profiles,
             total_references=int(archive["total_references"]),
         )
+
+
+class StageStore:
+    """Content-addressed, process-safe store of experiment-stage outputs.
+
+    Each stage output lives in ``root/<kind>/<key>.<ext>`` where
+    ``key`` is the content hash of everything that determines the
+    output (see :mod:`repro.system.stages`).  Identical stages are
+    therefore computed once and shared across systems, sweeps and
+    process restarts; changing any input yields a new key, so stale
+    entries are never *read* (invalidation is by construction — old
+    keys simply stop being referenced).
+
+    Writes go through a per-process temporary file and an atomic
+    ``os.replace``, so concurrent workers racing on the same key are
+    harmless: both write identical bytes and one rename wins.
+    """
+
+    KINDS = ("trace", "profile", "selection", "result")
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits: dict[str, int] = {kind: 0 for kind in self.KINDS}
+        self.misses: dict[str, int] = {kind: 0 for kind in self.KINDS}
+
+    def _path(self, kind: str, key: str, ext: str) -> Path:
+        if kind not in self.KINDS:
+            raise ProfilingError(f"unknown stage kind {kind!r}")
+        return self.root / kind / f"{key}.{ext}"
+
+    def _publish(self, target: Path, write) -> None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        # Keep the real extension so the npz writers don't append one.
+        tmp = target.parent / f".tmp-{os.getpid()}-{target.name}"
+        try:
+            write(tmp)
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _record(self, kind: str, hit: bool) -> bool:
+        counter = self.hits if hit else self.misses
+        counter[kind] += 1
+        return hit
+
+    # -- traces / profiles / selections (npz) -------------------------------
+    def load_trace(self, key: str) -> AccessTrace | None:
+        """The cached trace under a key, if present."""
+        path = self._path("trace", key, "npz")
+        if not self._record("trace", path.exists()):
+            return None
+        return load_trace(path)
+
+    def store_trace(self, key: str, trace: AccessTrace) -> None:
+        """Publish a trace under a key."""
+        self._publish(
+            self._path("trace", key, "npz"), lambda p: save_trace(p, trace)
+        )
+
+    def load_profile(self, key: str) -> WorkloadProfile | None:
+        """The cached profile under a key, if present."""
+        path = self._path("profile", key, "npz")
+        if not self._record("profile", path.exists()):
+            return None
+        return load_profile(path)
+
+    def store_profile(self, key: str, profile: WorkloadProfile) -> None:
+        """Publish a profile under a key."""
+        self._publish(
+            self._path("profile", key, "npz"),
+            lambda p: save_profile(p, profile),
+        )
+
+    def load_selection(self, key: str) -> MappingSelection | None:
+        """The cached mapping selection under a key, if present."""
+        path = self._path("selection", key, "npz")
+        if not self._record("selection", path.exists()):
+            return None
+        return load_selection(path)
+
+    def store_selection(self, key: str, selection: MappingSelection) -> None:
+        """Publish a selection under a key."""
+        self._publish(
+            self._path("selection", key, "npz"),
+            lambda p: save_selection(p, selection),
+        )
+
+    # -- results (json) ------------------------------------------------------
+    def load_result(self, key: str) -> dict | None:
+        """The cached result dict under a key, if present."""
+        path = self._path("result", key, "json")
+        if not self._record("result", path.exists()):
+            return None
+        return json.loads(path.read_text())
+
+    def store_result(self, key: str, result: dict) -> None:
+        """Publish a result dict under a key."""
+        text = json.dumps(result)
+        self._publish(
+            self._path("result", key, "json"), lambda p: p.write_text(text)
+        )
+
+    # -- accounting ----------------------------------------------------------
+    def counters(self) -> dict[str, dict[str, int]]:
+        """Per-kind hit/miss counts accumulated by this store instance."""
+        return {
+            kind: {"hits": self.hits[kind], "misses": self.misses[kind]}
+            for kind in self.KINDS
+        }

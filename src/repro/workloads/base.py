@@ -13,6 +13,7 @@ All return cache-line-aligned ``uint64`` VA arrays.
 
 from __future__ import annotations
 
+import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -24,6 +25,7 @@ from repro.errors import SimulationError
 __all__ = [
     "VariableSpec",
     "Workload",
+    "stable_name_seed",
     "strided_addresses",
     "random_addresses",
     "gather_addresses",
@@ -34,6 +36,18 @@ __all__ = [
 ]
 
 LINE = 64
+
+
+def stable_name_seed(name: str) -> int:
+    """A 16-bit seed derived from a name, stable across processes.
+
+    ``hash(str)`` is randomised per interpreter (PYTHONHASHSEED), so
+    trace generators must not derive RNG seeds from it: a worker
+    process would generate a different "same" workload than its
+    parent, breaking both parallel/serial equivalence and the on-disk
+    stage cache.
+    """
+    return zlib.crc32(name.encode()) & 0xFFFF
 
 
 @dataclass(frozen=True)
@@ -72,6 +86,31 @@ class Workload(ABC):
         ``input_seed`` selects the program input (profiling vs
         evaluation runs use different seeds, Section 7.3).
         """
+
+    # -- cache keying --------------------------------------------------------
+    def spec_dict(self) -> dict:
+        """A stable description of this instance for content hashing.
+
+        The default walks the public instance attributes (the
+        constructor parameters every workload stores); private
+        attributes — lazily built caches like generated graphs — are
+        skipped because they are derived from the public spec.
+        Workloads with non-parameter public state should override this.
+        """
+        from repro.core.keys import canonical
+
+        spec: dict = {"__workload__": type(self).__name__}
+        for key in sorted(vars(self)):
+            if key.startswith("_"):
+                continue
+            spec[key] = canonical(getattr(self, key))
+        return spec
+
+    def spec_hash(self) -> str:
+        """Hex digest of :meth:`spec_dict` — the workload's cache key."""
+        from repro.core.keys import stable_hash
+
+        return stable_hash(self.spec_dict())
 
     # -- conveniences --------------------------------------------------------
     def variable_id(self, name: str) -> int:

@@ -29,6 +29,7 @@ from repro.workloads.base import (
     pointer_chase_addresses,
     random_addresses,
     record_addresses,
+    stable_name_seed,
     strided_addresses,
     tagged_trace,
 )
@@ -213,7 +214,7 @@ class ModeledWorkload(Workload):
         traces: list[AccessTrace] = []
         for thread in range(self.threads):
             rng = np.random.default_rng(
-                (hash(self.name) & 0xFFFF) * 1000 + thread * 97 + input_seed
+                stable_name_seed(self.name) * 1000 + thread * 97 + input_seed
             )
             phase = input_seed * 1031 + thread * 4099
             streams: list[tuple[np.ndarray, int, bool]] = []

@@ -60,7 +60,7 @@ class TestPipelineInvariants:
         machine.run(workload)
         # Build a fresh controller the way the machine did and audit it.
         profile = machine.profile(workload)
-        selection = machine._select(profile)
+        selection = machine.select(profile)
         controller = SDAMController(machine.geometry)
         kernel = Kernel(machine.geometry, sdam=controller)
         for perm in selection.window_perms:

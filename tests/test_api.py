@@ -1,18 +1,66 @@
-"""Tests for the convenience API surface."""
+"""Tests for the convenience API surface (Session + deprecated shims)."""
 
 import pytest
 
+import repro
 from repro import api
 from repro.errors import ConfigError
+from repro.system import MachineResult, SuiteResult, system_by_key
+
+
+def tiny_workload():
+    return api.mixed_stride_workload(strides=(1, 16), accesses_per_stride=1500)
+
+
+class TestSession:
+    def test_exported_from_top_level(self):
+        assert repro.Session is api.Session
+        assert "Session" in repro.__all__
+
+    def test_default_cache_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "stages"))
+        session = api.Session()
+        assert session.cache_dir == str(tmp_path / "stages")
+
+    def test_none_disables_the_disk_cache(self):
+        session = api.Session(cache_dir=None, workers=0)
+        assert session.cache_dir is None
+        assert session.runner.store is None
+
+    def test_run_persists_stages(self, tmp_path):
+        session = api.Session(cache_dir=tmp_path, workers=0)
+        result = session.run(tiny_workload(), "sdm_bsm")
+        assert isinstance(result, MachineResult)
+        assert result.system == "SDM+BSM"
+        assert list((tmp_path / "result").iterdir())
+        assert list((tmp_path / "profile").iterdir())
+
+    def test_compare_keys_by_callers_key(self):
+        session = api.Session(cache_dir=None, workers=0)
+        config = system_by_key("sdm_bsm_ml4")
+        results = session.compare(tiny_workload(), systems=("bs_dm", config))
+        assert set(results) == {"bs_dm", "sdm_bsm_ml4"}
+        assert results["sdm_bsm_ml4"].time_ns < results["bs_dm"].time_ns
+
+    def test_sweep_returns_suite_result(self):
+        session = api.Session(cache_dir=None, workers=0)
+        suite = session.sweep(
+            [tiny_workload()], systems=["bs_dm", "sdm_bsm"]
+        )
+        assert isinstance(suite, SuiteResult)
+        assert not suite.errors
+        assert suite.table.systems() == ["BS+DM", "SDM+BSM"]
+        assert suite.table.geomean("SDM+BSM") > 0
 
 
 class TestBuilders:
-    def test_build_machine_default(self):
-        machine = api.build_machine()
+    def test_build_machine_default_warns(self):
+        with pytest.warns(DeprecationWarning):
+            machine = api.build_machine()
         assert machine.system.key == "sdm_bsm"
 
     def test_build_machine_unknown(self):
-        with pytest.raises(ConfigError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ConfigError):
             api.build_machine("warp_drive")
 
     def test_strided_workload(self):
@@ -25,20 +73,19 @@ class TestBuilders:
 
 
 class TestCompareSystems:
-    def test_quick_comparison(self):
-        workload = api.mixed_stride_workload(
-            strides=(1, 16), accesses_per_stride=1500
-        )
-        results = api.compare_systems(
-            workload, system_keys=("bs_dm", "sdm_bsm_ml4")
-        )
-        assert set(results) == {"BS+DM", "SDM+BSM+ML(4)"}
-        assert results["SDM+BSM+ML(4)"].time_ns < results["BS+DM"].time_ns
+    def test_quick_comparison_keyed_by_requested_key(self):
+        with pytest.warns(DeprecationWarning):
+            results = api.compare_systems(
+                tiny_workload(), system_keys=("bs_dm", "sdm_bsm_ml4")
+            )
+        assert set(results) == {"bs_dm", "sdm_bsm_ml4"}
+        assert results["sdm_bsm_ml4"].time_ns < results["bs_dm"].time_ns
 
 
 class TestFullEvaluation:
     def test_quick_sweep_produces_table(self):
-        table = api.full_evaluation(quick=True)
+        with pytest.warns(DeprecationWarning):
+            table = api.full_evaluation(quick=True)
         assert len(table.workloads()) == 4
         assert "BS+DM" in table.systems()
         for system in table.systems():

@@ -1,8 +1,29 @@
 """Tests for the ``python -m repro`` command-line front end."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+
+
+def _tiny_suite(monkeypatch):
+    """Shrink the suite sweep so CLI tests stay fast."""
+    from repro import api
+    from repro.system import system_by_key
+
+    monkeypatch.setattr(
+        api,
+        "evaluation_workloads",
+        lambda *, quick=True: [
+            api.mixed_stride_workload(strides=(1, 16), accesses_per_stride=600)
+        ],
+    )
+    monkeypatch.setattr(
+        api,
+        "standard_systems",
+        lambda: [system_by_key("bs_dm"), system_by_key("sdm_bsm")],
+    )
 
 
 class TestCLI:
@@ -24,6 +45,31 @@ class TestCLI:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "SDM+BSM" in out
+
+    def test_suite_json(self, capsys, monkeypatch):
+        _tiny_suite(monkeypatch)
+        assert main(["suite", "--quick", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) >= {"table", "errors", "metrics", "workers"}
+        assert not data["errors"]
+        assert list(data["table"]["results"]) == ["copy-mixed-1x16"]
+
+    def test_suite_table_reports_cache_stats(self, capsys, monkeypatch):
+        _tiny_suite(monkeypatch)
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup over BS+DM" in out
+        assert "cache" in out
+
+    def test_suite_uses_cache_dir(self, capsys, monkeypatch, tmp_path):
+        _tiny_suite(monkeypatch)
+        assert main(["suite", "--cache-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "result").is_dir()
+        capsys.readouterr()
+
+    def test_suite_rejects_quick_and_full(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "--quick", "--full"])
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
