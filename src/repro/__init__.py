@@ -19,10 +19,12 @@ from repro.api import (
     mixed_stride_workload,
     strided_workload,
 )
+from repro.faults import FaultPlan, FaultSpec
 from repro.system import (
     ExperimentRunner,
     Machine,
     MachineResult,
+    RetryPolicy,
     SpeedupTable,
     SuiteResult,
     SystemConfig,
@@ -31,12 +33,15 @@ from repro.system import (
     system_by_key,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExperimentRunner",
+    "FaultPlan",
+    "FaultSpec",
     "Machine",
     "MachineResult",
+    "RetryPolicy",
     "Session",
     "SpeedupTable",
     "SuiteResult",

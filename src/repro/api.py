@@ -27,12 +27,14 @@ import warnings
 from pathlib import Path
 
 from repro.core import ChunkGeometry, SDAMController
+from repro.faults import FaultPlan
 from repro.hbm import HBMConfig, WindowModel, hbm2_config
 from repro.ml import AutoencoderConfig
 from repro.system import (
     ExperimentRunner,
     Machine,
     MachineResult,
+    RetryPolicy,
     SpeedupTable,
     SuiteResult,
     SystemConfig,
@@ -50,6 +52,8 @@ from repro.workloads import (
 )
 
 __all__ = [
+    "FaultPlan",
+    "RetryPolicy",
     "Session",
     "default_cache_dir",
     "evaluation_workloads",
@@ -105,6 +109,15 @@ class Session:
         Per-cell time budget (seconds) for parallel sweeps; an
         overrunning cell is recorded as an error instead of stalling
         the sweep.
+    retry:
+        A :class:`~repro.system.RetryPolicy` for transiently failing
+        cells (crashed workers, I/O flakes).  Defaults to three
+        attempts with exponential backoff; ``RetryPolicy.none()``
+        records every failure immediately.
+    faults:
+        A :class:`~repro.faults.FaultPlan` injecting failures at
+        named engine sites, for resilience testing.  Defaults to the
+        ``$REPRO_FAULT_PLAN`` environment hook (unset = no faults).
     machine_kwargs:
         Platform configuration forwarded to every
         :class:`~repro.system.machine.Machine` (``hbm``, ``geometry``,
@@ -116,6 +129,8 @@ class Session:
         cache_dir: str | None | object = _UNSET,
         workers: int | None = None,
         cell_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
         **machine_kwargs,
     ):
         if cache_dir is _UNSET:
@@ -127,6 +142,8 @@ class Session:
             cache_dir=cache_dir,
             max_workers=workers,
             cell_timeout=cell_timeout,
+            retry_policy=retry,
+            faults=faults,
         )
 
     # -- introspection -------------------------------------------------------
@@ -197,6 +214,7 @@ class Session:
         *,
         profile_seed: int = 0,
         eval_seed: int = 1,
+        resume: bool = False,
     ) -> SuiteResult:
         """Every workload under every system: cached, parallel, and
         failure-isolated.
@@ -204,6 +222,11 @@ class Session:
         Returns a :class:`~repro.system.runner.SuiteResult` carrying
         the speedup table, per-stage metrics (wall time, cache
         hits/misses, bytes simulated) and any per-cell errors.
+
+        ``resume=True`` finishes an interrupted or partially failed
+        sweep: cells the sweep manifest records as healthy are served
+        from the stage cache with zero recomputation, and only failed
+        or missing cells re-run.
         """
         resolved = (
             [_resolve_system(s) for s in systems] if systems else None
@@ -213,6 +236,7 @@ class Session:
             systems=resolved,
             profile_seed=profile_seed,
             eval_seed=eval_seed,
+            resume=resume,
             **self.machine_kwargs,
         )
 

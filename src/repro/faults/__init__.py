@@ -1,0 +1,20 @@
+"""Deterministic fault injection for resilience testing.
+
+The engine's failure paths — corrupt cache entries, crashing workers,
+stalled cells, broken process pools — are exercised through
+:class:`FaultPlan`: a picklable, seedable description of what to break
+and where.  See :mod:`repro.faults.sites` for the injection points and
+:mod:`repro.faults.plan` for the firing semantics.
+"""
+
+from repro.faults.plan import ENV_VAR, FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.sites import KNOWN_SITES, matches_known_site
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "KNOWN_SITES",
+    "matches_known_site",
+]

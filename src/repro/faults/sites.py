@@ -1,0 +1,65 @@
+"""Named fault-injection sites of the experiment engine.
+
+A *fault site* is a stable string naming one place where a
+:class:`~repro.faults.plan.FaultPlan` may act.  Sites come in two
+families, distinguished by the token the engine passes alongside:
+
+``store.load.<kind>``
+    Checked by :class:`~repro.system.tracefile.StageStore` just before
+    reading a cached entry; the token is the entry's cache key.  The
+    only useful fault kind here is ``corrupt`` (garble the blob on
+    disk so the checksum/decode path must heal it).
+
+``worker.<stage>``
+    Checked at the start of each compute stage, whether it runs in a
+    worker process or inline.  The token is ``"<workload>:<system>"``
+    for cell stages and the bare workload name for the shared
+    profiling phase.  Useful kinds: ``raise`` (simulated crash),
+    ``stall`` (sleep past the cell timeout) and ``break-pool``
+    (``os._exit`` the worker so the whole pool breaks).
+
+Site patterns in a :class:`FaultSpec` are ``fnmatch`` globs, so
+``store.load.*`` or ``worker.*`` cover a family.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+
+__all__ = [
+    "KNOWN_SITES",
+    "STORE_LOAD_PROFILE",
+    "STORE_LOAD_RESULT",
+    "STORE_LOAD_SELECTION",
+    "STORE_LOAD_SWEEP",
+    "STORE_LOAD_TRACE",
+    "WORKER_EVALUATE",
+    "WORKER_PROFILE",
+    "WORKER_SELECTION",
+    "matches_known_site",
+]
+
+STORE_LOAD_TRACE = "store.load.trace"
+STORE_LOAD_PROFILE = "store.load.profile"
+STORE_LOAD_SELECTION = "store.load.selection"
+STORE_LOAD_RESULT = "store.load.result"
+STORE_LOAD_SWEEP = "store.load.sweep"
+WORKER_PROFILE = "worker.profile"
+WORKER_SELECTION = "worker.selection"
+WORKER_EVALUATE = "worker.evaluate"
+
+KNOWN_SITES = (
+    STORE_LOAD_TRACE,
+    STORE_LOAD_PROFILE,
+    STORE_LOAD_SELECTION,
+    STORE_LOAD_RESULT,
+    STORE_LOAD_SWEEP,
+    WORKER_PROFILE,
+    WORKER_SELECTION,
+    WORKER_EVALUATE,
+)
+
+
+def matches_known_site(pattern: str) -> bool:
+    """Whether a site pattern can ever match a real injection point."""
+    return any(fnmatch(site, pattern) for site in KNOWN_SITES)

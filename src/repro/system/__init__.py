@@ -13,6 +13,7 @@ from repro.system.reporting import format_series, format_table
 from repro.system.runner import (
     CellError,
     ExperimentRunner,
+    RetryPolicy,
     StageMetrics,
     SuiteResult,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "Machine",
     "MachineParams",
     "MachineResult",
+    "RetryPolicy",
     "SpeedupTable",
     "StageMetrics",
     "StageStore",

@@ -18,17 +18,28 @@ independent cells out over a ``ProcessPoolExecutor``:
 Results are returned in deterministic (workload-major) order whatever
 the completion order; a failing or timed-out cell degrades to a
 recorded :class:`CellError` instead of killing the sweep.
+
+The engine is *fault-tolerant* (see DESIGN.md, "Failure model"):
+transient cell failures are retried under a :class:`RetryPolicy`, a
+broken process pool degrades the rest of the sweep to serial
+execution instead of aborting it, every sweep writes a per-cell
+outcome manifest so ``run_suite(..., resume=True)`` re-runs only
+failed or missing cells, and a :class:`~repro.faults.FaultPlan` can
+inject failures at named sites to test all of the above.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.core.keys import stable_hash
 from repro.core.selection import MappingSelection
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RetryExhaustedError
+from repro.faults import FaultPlan
 from repro.profiling.profiler import WorkloadProfile
 from repro.system.config import SystemConfig, standard_systems
 from repro.system.experiment import SpeedupTable
@@ -42,6 +53,7 @@ from repro.system.stages import (
     profile_stage,
     selection_cache_key,
     selection_stage,
+    sweep_cache_key,
 )
 from repro.system.tracefile import StageStore
 from repro.workloads.base import Workload
@@ -49,11 +61,53 @@ from repro.workloads.base import Workload
 __all__ = [
     "CellError",
     "ExperimentRunner",
+    "RetryPolicy",
     "StageMetrics",
     "SuiteResult",
 ]
 
 STAGES = ("profile", "mix", "selection", "evaluate")
+
+MANIFEST_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how often to re-execute a failed cell.
+
+    A cell whose error class is in ``retry_on`` is re-submitted with
+    exponential backoff until it succeeds or ``max_attempts`` is
+    spent; other errors are recorded immediately.  The default class
+    set covers crashes and I/O flakes — failures that plausibly pass
+    on a second try — and excludes deterministic ones (a workload
+    whose trace generator raises will raise again).
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    retry_on: tuple[str, ...] = (
+        "WorkerCrashError",
+        "BrokenProcessPool",
+        "OSError",
+        "IOError",
+        "EOFError",
+        "ConnectionError",
+        "ConnectionResetError",
+    )
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Single-attempt policy: record every failure immediately."""
+        return cls(max_attempts=1)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-running a cell that failed ``attempt``."""
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+
+    def should_retry(self, error_type: str | None, attempt: int) -> bool:
+        """Whether a failure of this class at this attempt is retried."""
+        return attempt < self.max_attempts and error_type in self.retry_on
 
 
 @dataclass
@@ -90,12 +144,19 @@ class StageMetrics:
 
 @dataclass(frozen=True)
 class CellError:
-    """One failed cell: where it failed and why; the sweep continued."""
+    """One failed cell: where it failed and why; the sweep continued.
+
+    ``error_type`` is the exception class name (what retry policies
+    classify on) and ``attempts`` how many executions were spent
+    before the failure was recorded.
+    """
 
     workload: str
     system: str
     stage: str
     message: str
+    error_type: str = ""
+    attempts: int = 1
 
     def to_dict(self) -> dict:
         """A JSON-serialisable form."""
@@ -104,16 +165,24 @@ class CellError:
             "system": self.system,
             "stage": self.stage,
             "message": self.message,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "CellError":
-        """Rebuild an error written by :meth:`to_dict`."""
+        """Rebuild an error written by :meth:`to_dict`.
+
+        Tolerant of manifests from other engine versions: missing
+        keys fall back to defaults and extra keys are ignored.
+        """
         return cls(
-            workload=data["workload"],
-            system=data["system"],
-            stage=data["stage"],
-            message=data["message"],
+            workload=str(data.get("workload", "?")),
+            system=str(data.get("system", "?")),
+            stage=str(data.get("stage", "evaluate")),
+            message=str(data.get("message", "")),
+            error_type=str(data.get("error_type", "")),
+            attempts=int(data.get("attempts", 1)),
         )
 
 
@@ -126,6 +195,8 @@ class SuiteResult:
     metrics: dict[str, StageMetrics] = field(default_factory=dict)
     wall_seconds: float = 0.0
     workers: int = 0
+    degraded: bool = False
+    resumed: bool = False
 
     @property
     def cache_hits(self) -> int:
@@ -163,6 +234,8 @@ class SuiteResult:
             },
             "wall_seconds": self.wall_seconds,
             "workers": self.workers,
+            "degraded": self.degraded,
+            "resumed": self.resumed,
         }
 
     def to_json(self, **json_kwargs) -> str:
@@ -183,6 +256,8 @@ class SuiteResult:
             },
             wall_seconds=float(data["wall_seconds"]),
             workers=int(data["workers"]),
+            degraded=bool(data.get("degraded", False)),
+            resumed=bool(data.get("resumed", False)),
         )
 
 
@@ -197,6 +272,8 @@ class _ProfileTask:
     workload: Workload
     input_seed: int
     cache_dir: str | None
+    attempt: int = 1
+    faults: FaultPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -213,6 +290,13 @@ class _CellTask:
     selection: MappingSelection | None = None
     mix_profile: WorkloadProfile | None = None
     cache_dir: str | None = None
+    attempt: int = 1
+    faults: FaultPlan | None = None
+
+    @property
+    def token(self) -> str:
+        """The fault-site token identifying this cell."""
+        return f"{self.workload.name}:{self.params.system.key}"
 
 
 @dataclass
@@ -222,15 +306,30 @@ class _CellOutcome:
     timings: dict[str, float]
     error_stage: str | None = None
     error: str | None = None
+    error_type: str | None = None
+    attempt: int = 1
 
 
-def _run_profile_task(task: _ProfileTask) -> tuple[str, WorkloadProfile, float]:
+def _run_profile_task(
+    task: _ProfileTask, in_worker: bool = False
+) -> tuple[str, WorkloadProfile, float]:
     """Worker entry: compute (or load) one profiling stage."""
-    store = StageStore(task.cache_dir) if task.cache_dir else None
+    store = (
+        StageStore(task.cache_dir, faults=task.faults)
+        if task.cache_dir
+        else None
+    )
     if store is not None:
         cached = store.load_profile(task.key)
         if cached is not None:
             return task.key, cached, 0.0
+    if task.faults is not None:
+        task.faults.inject(
+            "worker.profile",
+            task.workload.name,
+            attempt=task.attempt,
+            allow_exit=in_worker,
+        )
     start = time.perf_counter()
     profile = profile_stage(task.params, task.workload, task.input_seed)
     elapsed = time.perf_counter() - start
@@ -239,9 +338,13 @@ def _run_profile_task(task: _ProfileTask) -> tuple[str, WorkloadProfile, float]:
     return task.key, profile, elapsed
 
 
-def _run_cell_task(task: _CellTask) -> _CellOutcome:
+def _run_cell_task(task: _CellTask, in_worker: bool = False) -> _CellOutcome:
     """Worker entry: selection (if needed) + evaluation for one cell."""
-    store = StageStore(task.cache_dir) if task.cache_dir else None
+    store = (
+        StageStore(task.cache_dir, faults=task.faults)
+        if task.cache_dir
+        else None
+    )
     timings: dict[str, float] = {}
     stage = "evaluate"
 
@@ -252,7 +355,15 @@ def _run_cell_task(task: _CellTask) -> _CellOutcome:
             timings=timings,
             error_stage=stage,
             error=f"{type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__,
+            attempt=task.attempt,
         )
+
+    def inject(site: str) -> None:
+        if task.faults is not None:
+            task.faults.inject(
+                site, task.token, attempt=task.attempt, allow_exit=in_worker
+            )
 
     try:
         profile = task.profile
@@ -266,6 +377,7 @@ def _run_cell_task(task: _CellTask) -> _CellOutcome:
                     # Planner normally embeds the profile; recompute as
                     # a fallback so a lone task stays self-contained.
                     stage = "profile"
+                    inject("worker.profile")
                     start = time.perf_counter()
                     profile = profile_stage(
                         task.params, task.workload, task.profile_seed
@@ -274,12 +386,14 @@ def _run_cell_task(task: _CellTask) -> _CellOutcome:
                     if store is not None and task.profile_key:
                         store.store_profile(task.profile_key, profile)
                     stage = "selection"
+                inject("worker.selection")
                 start = time.perf_counter()
                 selection = selection_stage(task.params, profile)
                 timings["selection"] = time.perf_counter() - start
                 if store is not None and task.selection_key:
                     store.store_selection(task.selection_key, selection)
         stage = "evaluate"
+        inject("worker.evaluate")
         start = time.perf_counter()
         result = evaluate_stage(
             task.params,
@@ -295,7 +409,10 @@ def _run_cell_task(task: _CellTask) -> _CellOutcome:
         if store is not None:
             store.store_result(task.result_key, result_dict)
         return _CellOutcome(
-            index=task.index, result=result_dict, timings=timings
+            index=task.index,
+            result=result_dict,
+            timings=timings,
+            attempt=task.attempt,
         )
     except Exception as exc:  # noqa: BLE001 — isolate the failing cell
         return fail(exc)
@@ -314,6 +431,15 @@ class ExperimentRunner:
     that exceeds it is recorded as a :class:`CellError`.  Timeouts
     require ``max_workers >= 2`` — the serial path cannot interrupt a
     running stage.
+
+    ``retry_policy`` governs re-execution of transiently failed cells
+    (crashes, I/O flakes); a broken process pool degrades the rest of
+    the sweep to serial execution instead of aborting.  ``faults``
+    optionally injects failures from a
+    :class:`~repro.faults.FaultPlan` (defaults to the
+    ``$REPRO_FAULT_PLAN`` environment hook); when a cache directory
+    exists, the plan's firing ledger is kept inside it so fault
+    budgets hold across worker processes and resumed sweeps.
     """
 
     def __init__(
@@ -321,14 +447,33 @@ class ExperimentRunner:
         cache_dir: str | None = None,
         max_workers: int = 0,
         cell_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.cache_dir = str(cache_dir) if cache_dir else None
-        self.store = StageStore(self.cache_dir) if self.cache_dir else None
+        if faults is None:
+            faults = FaultPlan.from_env()
+        if (
+            faults is not None
+            and faults.ledger_dir is None
+            and self.cache_dir
+        ):
+            faults = faults.with_ledger(
+                Path(self.cache_dir) / "faults-ledger"
+            )
+        self.faults = faults
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.store = (
+            StageStore(self.cache_dir, faults=faults)
+            if self.cache_dir
+            else None
+        )
         self.max_workers = int(max_workers or 0)
         self.cell_timeout = cell_timeout
         self._profiles: dict[str, WorkloadProfile] = {}
         self._selections: dict[str, MappingSelection] = {}
         self._results: dict[str, dict] = {}
+        self._degraded = False
 
     # -- cached stage lookups ------------------------------------------------
     def _cached_profile(self, key: str) -> WorkloadProfile | None:
@@ -380,16 +525,30 @@ class ExperimentRunner:
                         workload=workload,
                         input_seed=input_seed,
                         cache_dir=self.cache_dir,
+                        faults=self.faults,
                     )
                 )
         if not missing:
             return profiles
         start = time.perf_counter()
         if self.max_workers > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(missing))
-            ) as pool:
-                outcomes = list(pool.map(_run_profile_task, missing))
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.max_workers, len(missing))
+                ) as pool:
+                    outcomes = list(
+                        pool.map(_run_profile_task, missing, [True] * len(missing))
+                    )
+            except Exception as exc:  # noqa: BLE001 — degrade, don't abort
+                # A crashed worker (or injected fault) lost the batch;
+                # profiles the workers did publish reload from the
+                # store, the rest recompute serially as a fresh attempt.
+                if isinstance(exc, BrokenProcessPool):
+                    self._degraded = True
+                outcomes = [
+                    _run_profile_task(replace(task, attempt=task.attempt + 1))
+                    for task in missing
+                ]
         else:
             outcomes = [_run_profile_task(task) for task in missing]
         metrics.wall_seconds += time.perf_counter() - start
@@ -405,6 +564,7 @@ class ExperimentRunner:
         systems: list[SystemConfig] | None = None,
         profile_seed: int = 0,
         eval_seed: int = 1,
+        resume: bool = False,
         **machine_kwargs,
     ) -> SuiteResult:
         """Run every workload under every system, cached and parallel.
@@ -412,8 +572,16 @@ class ExperimentRunner:
         Speedups are reported against the first system in ``systems``
         (``BS+DM`` in the standard set), matching
         :func:`repro.system.experiment.run_suite`.
+
+        With a cache directory the sweep maintains a *manifest* — a
+        per-cell outcome record updated as results land — so an
+        interrupted or partially failed sweep can be finished with
+        ``resume=True``: healthy cells are served from the stage
+        cache (zero recomputation) and only failed or missing cells
+        re-run.
         """
         sweep_start = time.perf_counter()
+        self._degraded = False
         systems = systems or standard_systems()
         if not workloads:
             raise ConfigError("no workloads given")
@@ -458,6 +626,35 @@ class ExperimentRunner:
                 results[index] = cached
             else:
                 pending.append((index, workload, system, params, result_key))
+
+        # Manifest: record the plan (and each outcome, incrementally)
+        # so an interrupted sweep can be resumed from what finished.
+        sweep_key = sweep_cache_key(
+            base, workloads, systems, profile_seed, eval_seed
+        )
+        manifest: dict | None = None
+        resumed = False
+        if self.store is not None:
+            if resume:
+                resumed = self.store.load_manifest(sweep_key) is not None
+            manifest = {
+                "format": MANIFEST_FORMAT,
+                "sweep": sweep_key,
+                "workloads": [w.name for w in workloads],
+                "systems": [s.key for s in systems],
+                "resumed": resumed,
+                "completed": False,
+                "cells": {
+                    str(index): {
+                        "workload": workload.name,
+                        "system": system.key,
+                        "result_key": key,
+                        "status": "ok" if index in results else "pending",
+                    }
+                    for index, workload, system, _params, key in cells
+                },
+            }
+            self.store.store_manifest(sweep_key, manifest)
 
         # Profile: one stage per workload, shared by every system.
         profiles_wanted: dict[str, Workload] = {}
@@ -510,9 +707,28 @@ class ExperimentRunner:
                     selection=selection,
                     mix_profile=mix_profile if needs_mix else None,
                     cache_dir=self.cache_dir,
+                    faults=self.faults,
                 )
             )
-        outcomes = self._execute_cells(tasks)
+
+        def record_outcome(outcome: _CellOutcome) -> None:
+            if manifest is None:
+                return
+            cell = manifest["cells"][str(outcome.index)]
+            if outcome.error is None:
+                cell["status"] = "ok"
+                cell.pop("error", None)
+            else:
+                cell["status"] = "error"
+                cell["error"] = {
+                    "stage": outcome.error_stage or "evaluate",
+                    "message": outcome.error,
+                    "error_type": outcome.error_type or "",
+                    "attempts": outcome.attempt,
+                }
+            self.store.store_manifest(sweep_key, manifest)
+
+        outcomes = self._execute_cells(tasks, on_outcome=record_outcome)
 
         # Assemble in deterministic cell order.
         by_index = {
@@ -531,6 +747,8 @@ class ExperimentRunner:
                         system=system.key,
                         stage=outcome.error_stage or "evaluate",
                         message=outcome.error,
+                        error_type=outcome.error_type or "",
+                        attempts=outcome.attempt,
                     )
                 )
                 continue
@@ -551,22 +769,82 @@ class ExperimentRunner:
             metrics=metrics,
             wall_seconds=time.perf_counter() - sweep_start,
             workers=self.max_workers,
+            degraded=self._degraded,
+            resumed=resumed,
         )
+        if manifest is not None:
+            manifest["completed"] = not errors
+            self.store.store_manifest(sweep_key, manifest)
         return suite
 
-    def _execute_cells(self, tasks: list[_CellTask]) -> list[_CellOutcome]:
-        """Run cell tasks serially or over the process pool."""
+    def _execute_cells(
+        self, tasks: list[_CellTask], on_outcome=None
+    ) -> list[_CellOutcome]:
+        """Run cell tasks with retries, degrading serially if needed.
+
+        Each round executes the outstanding tasks (over the pool, or
+        in-process once the pool has broken or ``max_workers <= 1``);
+        failures the :class:`RetryPolicy` classifies as transient are
+        re-submitted with backoff as the next round.  ``on_outcome``
+        fires once per cell when its outcome becomes final.
+        """
         if not tasks:
             return []
-        if self.max_workers <= 1:
-            return [_run_cell_task(task) for task in tasks]
+        final: dict[int, _CellOutcome] = {}
+        serial = self.max_workers <= 1
+        batch = list(tasks)
+        while batch:
+            if serial:
+                raw = [_run_cell_task(task) for task in batch]
+            else:
+                raw, pool_broken = self._run_pooled(batch)
+                if pool_broken:
+                    # Graceful degradation: finish the sweep (and any
+                    # retries) in-process rather than aborting it.
+                    self._degraded = True
+                    serial = True
+            by_index = {task.index: task for task in batch}
+            retries: list[_CellTask] = []
+            for outcome in raw:
+                task = by_index[outcome.index]
+                if outcome.error is not None and self.retry_policy.should_retry(
+                    outcome.error_type, task.attempt
+                ):
+                    retries.append(replace(task, attempt=task.attempt + 1))
+                else:
+                    final[outcome.index] = outcome
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+            if retries:
+                time.sleep(
+                    self.retry_policy.delay(
+                        min(task.attempt for task in retries) - 1
+                    )
+                )
+            batch = retries
+        return [final[index] for index in sorted(final)]
+
+    def _run_pooled(
+        self, tasks: list[_CellTask]
+    ) -> tuple[list[_CellOutcome], bool]:
+        """One round of tasks over a process pool.
+
+        Returns the outcomes plus whether the pool broke.  A broken
+        pool marks every unfinished cell as a crash (retryable, so
+        the serial fallback re-runs them); a timeout marks every
+        still-running cell as timed out and abandons the pool.
+        """
         outcomes: list[_CellOutcome] = []
         pool = ProcessPoolExecutor(
             max_workers=min(self.max_workers, len(tasks))
         )
         timed_out = False
+        pool_broken = False
         try:
-            futures = {pool.submit(_run_cell_task, task): task for task in tasks}
+            futures = {
+                pool.submit(_run_cell_task, task, True): task
+                for task in tasks
+            }
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(
@@ -592,6 +870,8 @@ class ExperimentRunner:
                                     "timeout: no progress within "
                                     f"{self.cell_timeout:.1f}s"
                                 ),
+                                error_type="CellTimeout",
+                                attempt=task.attempt,
                             )
                         )
                     break
@@ -599,6 +879,19 @@ class ExperimentRunner:
                     task = futures[future]
                     try:
                         outcomes.append(future.result())
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        outcomes.append(
+                            _CellOutcome(
+                                index=task.index,
+                                result=None,
+                                timings={},
+                                error_stage="evaluate",
+                                error=f"worker crashed: {exc}",
+                                error_type="WorkerCrashError",
+                                attempt=task.attempt,
+                            )
+                        )
                     except Exception as exc:  # pool/pickle failures
                         outcomes.append(
                             _CellOutcome(
@@ -607,12 +900,32 @@ class ExperimentRunner:
                                 timings={},
                                 error_stage="evaluate",
                                 error=f"{type(exc).__name__}: {exc}",
+                                error_type=type(exc).__name__,
+                                attempt=task.attempt,
                             )
                         )
+                if pool_broken:
+                    # The pool takes every queued future down with it.
+                    for future in remaining:
+                        task = futures[future]
+                        future.cancel()
+                        outcomes.append(
+                            _CellOutcome(
+                                index=task.index,
+                                result=None,
+                                timings={},
+                                error_stage="evaluate",
+                                error="worker pool broke before the cell ran",
+                                error_type="WorkerCrashError",
+                                attempt=task.attempt,
+                            )
+                        )
+                    break
         finally:
-            pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
+            abandoned = timed_out or pool_broken
+            pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
         outcomes.sort(key=lambda outcome: outcome.index)
-        return outcomes
+        return outcomes, pool_broken
 
     # -- single cells --------------------------------------------------------
     def run_one(
@@ -671,9 +984,26 @@ class ExperimentRunner:
             if system.policy == "bsm" and not system.sdam
             else None,
             cache_dir=self.cache_dir,
+            faults=self.faults,
         )
-        outcome = _run_cell_task(task)
-        if outcome.error is not None:
+        attempt = 1
+        while True:
+            outcome = _run_cell_task(replace(task, attempt=attempt))
+            if outcome.error is None:
+                break
+            if self.retry_policy.should_retry(outcome.error_type, attempt):
+                time.sleep(self.retry_policy.delay(attempt))
+                attempt += 1
+                continue
+            if (
+                outcome.error_type in self.retry_policy.retry_on
+                and attempt >= self.retry_policy.max_attempts
+            ):
+                raise RetryExhaustedError(
+                    f"{workload.name} on {system.key} still failing in "
+                    f"{outcome.error_stage} after {attempt} attempt(s): "
+                    f"{outcome.error}"
+                )
             raise ConfigError(
                 f"{workload.name} on {system.key} failed in "
                 f"{outcome.error_stage}: {outcome.error}"

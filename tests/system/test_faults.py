@@ -1,0 +1,394 @@
+"""Tests for the fault-tolerance layer of the experiment engine.
+
+The contract under test: a deterministic :class:`FaultPlan` can break
+the engine at every named site — corrupt cache entries, crashing
+workers, stalled cells, broken pools — and the engine converges to the
+same results a fault-free sweep produces, recomputing only what the
+faults destroyed.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    CacheCorruptionError,
+    ConfigError,
+    RetryExhaustedError,
+    WorkerCrashError,
+)
+from repro.faults import KNOWN_SITES, FaultPlan, FaultSpec, matches_known_site
+from repro.system import ExperimentRunner, RetryPolicy, system_by_key
+from repro.system.runner import CellError
+from repro.workloads import MixedStrideWorkload, StridedCopyWorkload
+
+
+def small_workloads():
+    return [
+        MixedStrideWorkload(strides=(1, 16), accesses_per_stride=600),
+        StridedCopyWorkload(stride_lines=8, accesses_per_thread=600),
+    ]
+
+
+def small_systems():
+    return [system_by_key("bs_dm"), system_by_key("sdm_bsm")]
+
+
+@pytest.fixture(scope="module")
+def clean_fingerprint():
+    """The fault-free reference sweep (computed once per module)."""
+    suite = ExperimentRunner().run_suite(
+        small_workloads(), systems=small_systems()
+    )
+    assert not suite.errors
+    return suite.table.fingerprint()
+
+
+class TestFaultPlan:
+    def test_round_trips_through_json(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="store.load.result", kind="corrupt", times=2),
+                FaultSpec(site="worker.*", kind="stall", seconds=1.5),
+            ),
+            seed=7,
+        )
+        rebuilt = FaultPlan.from_json(plan.to_json())
+        assert rebuilt == plan
+
+    def test_env_hook_inline_json(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN",
+            json.dumps({"specs": [{"site": "worker.evaluate"}]}),
+        )
+        plan = FaultPlan.from_env()
+        assert plan is not None and plan.specs[0].site == "worker.evaluate"
+
+    def test_env_hook_file_path_and_bare_list(self, monkeypatch, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps([{"site": "store.load.*", "kind": "corrupt"}]))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", str(path))
+        plan = FaultPlan.from_env()
+        assert plan is not None and plan.specs[0].kind == "corrupt"
+
+    def test_env_hook_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert FaultPlan.from_env() is None
+
+    def test_rejects_unknown_kind_and_site(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(site="worker.evaluate", kind="meltdown")
+        with pytest.raises(ConfigError):
+            FaultSpec(site="worker.nonsense")
+        assert matches_known_site("worker.*")
+        assert all(matches_known_site(site) for site in KNOWN_SITES)
+
+    def test_never_fires_on_retries(self):
+        plan = FaultPlan.single("worker.evaluate", times=99)
+        assert plan.should_fire("worker.evaluate", "w:s", attempt=2) is None
+        assert plan.should_fire("worker.evaluate", "w:s", attempt=1) is not None
+
+    def test_times_budget_in_process(self):
+        plan = FaultPlan.single("worker.evaluate", times=2)
+        fired = [
+            plan.should_fire("worker.evaluate", f"w{i}:s") is not None
+            for i in range(4)
+        ]
+        assert fired == [True, True, False, False]
+
+    def test_ledger_counts_across_plan_instances(self, tmp_path):
+        spec = dict(site="worker.evaluate", times=1)
+        first = FaultPlan.single(**spec).with_ledger(tmp_path / "ledger")
+        second = FaultPlan.single(**spec).with_ledger(tmp_path / "ledger")
+        assert first.should_fire("worker.evaluate", "w:s") is not None
+        assert second.should_fire("worker.evaluate", "w:s") is None
+
+    def test_probability_is_seed_deterministic(self):
+        def firing(seed):
+            plan = FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="worker.evaluate", probability=0.5, times=1000
+                    ),
+                ),
+                seed=seed,
+            )
+            return [
+                plan.should_fire("worker.evaluate", f"w{i}:s") is not None
+                for i in range(40)
+            ]
+
+        assert firing(3) == firing(3)
+        assert firing(3) != firing(4)
+        assert any(firing(3)) and not all(firing(3))
+
+    def test_raise_kind_raises_worker_crash(self):
+        plan = FaultPlan.single("worker.evaluate")
+        with pytest.raises(WorkerCrashError):
+            plan.inject("worker.evaluate", "w:s")
+
+    def test_break_pool_degrades_to_raise_outside_workers(self):
+        plan = FaultPlan.single("worker.evaluate", kind="break-pool")
+        with pytest.raises(WorkerCrashError):
+            plan.inject("worker.evaluate", "w:s", allow_exit=False)
+
+
+class TestCorruptCacheSite:
+    def test_corrupt_result_heals_to_identical_sweep(
+        self, tmp_path, clean_fingerprint
+    ):
+        workloads, systems = small_workloads(), small_systems()
+        warm = ExperimentRunner(cache_dir=tmp_path).run_suite(
+            workloads, systems=systems
+        )
+        assert not warm.errors
+
+        plan = FaultPlan.single("store.load.result", kind="corrupt", times=1)
+        runner = ExperimentRunner(cache_dir=tmp_path, faults=plan)
+        healed = runner.run_suite(workloads, systems=systems)
+        assert not healed.errors
+        assert healed.table.fingerprint() == clean_fingerprint
+        # Exactly the corrupted cell recomputed; the rest were hits.
+        assert healed.metrics["evaluate"].cache_misses == 1
+        assert runner.store.corruptions["result"] == 1
+        quarantined = list((tmp_path / "quarantine" / "result").glob("*.json"))
+        assert len(quarantined) == 1
+
+    def test_corrupt_profile_heals_to_identical_sweep(
+        self, tmp_path, clean_fingerprint
+    ):
+        workloads, systems = small_workloads(), small_systems()
+        assert not ExperimentRunner(cache_dir=tmp_path).run_suite(
+            workloads, systems=systems
+        ).errors
+        # Drop results and selections so the profile gets re-read (a
+        # cached selection would satisfy the cell without a profile).
+        for kind in ("result", "selection"):
+            for blob in (tmp_path / kind).iterdir():
+                blob.unlink()
+
+        plan = FaultPlan.single("store.load.profile", kind="corrupt", times=1)
+        runner = ExperimentRunner(cache_dir=tmp_path, faults=plan)
+        healed = runner.run_suite(workloads, systems=systems)
+        assert not healed.errors
+        assert healed.table.fingerprint() == clean_fingerprint
+        assert runner.store.corruptions["profile"] == 1
+
+
+class TestWorkerCrashSite:
+    def test_injected_raise_is_retried_to_success(self, clean_fingerprint):
+        plan = FaultPlan.single("worker.evaluate", kind="raise", times=1)
+        suite = ExperimentRunner(faults=plan).run_suite(
+            small_workloads(), systems=small_systems()
+        )
+        assert not suite.errors
+        assert suite.table.fingerprint() == clean_fingerprint
+
+    def test_exhausted_retries_record_the_error(self):
+        plan = FaultPlan.single("worker.evaluate", kind="raise", times=1)
+        suite = ExperimentRunner(
+            faults=plan, retry_policy=RetryPolicy.none()
+        ).run_suite(small_workloads(), systems=small_systems())
+        assert len(suite.errors) == 1
+        error = suite.errors[0]
+        assert error.error_type == "WorkerCrashError"
+        assert error.attempts == 1
+
+    def test_run_one_retries_and_raises_when_exhausted(self):
+        workload = small_workloads()[0]
+        plan = FaultPlan.single("worker.evaluate", kind="raise", times=1)
+        result = ExperimentRunner(faults=plan).run_one(
+            workload, system_by_key("bs_dm")
+        )
+        assert result.time_ns > 0
+        # times=2 with a single attempt allowed: retryable but exhausted.
+        plan = FaultPlan.single("worker.evaluate", kind="raise", times=2)
+        with pytest.raises(RetryExhaustedError):
+            ExperimentRunner(
+                faults=plan, retry_policy=RetryPolicy.none()
+            ).run_one(workload, system_by_key("bs_dm"))
+
+
+class TestPoolBreakSite:
+    def test_broken_pool_degrades_to_serial_and_completes(
+        self, clean_fingerprint
+    ):
+        plan = FaultPlan.single("worker.evaluate", kind="break-pool", times=1)
+        suite = ExperimentRunner(max_workers=2, faults=plan).run_suite(
+            small_workloads(), systems=small_systems()
+        )
+        assert suite.degraded
+        assert not suite.errors
+        assert suite.table.fingerprint() == clean_fingerprint
+
+
+class TestTimeoutSite:
+    def test_stalled_cell_is_recorded_as_timeout(self):
+        workloads, systems = small_workloads(), small_systems()
+        stalled = f"{workloads[1].name}:{systems[0].key}"
+        plan = FaultPlan.single(
+            "worker.evaluate", kind="stall", seconds=8.0, match=stalled
+        )
+        suite = ExperimentRunner(
+            max_workers=2, cell_timeout=1.5, faults=plan
+        ).run_suite(workloads, systems=systems)
+        assert len(suite.errors) == 1
+        error = suite.errors[0]
+        assert error.error_type == "CellTimeout"
+        assert "timeout" in error.message
+        assert (error.workload, error.system) == (
+            workloads[1].name,
+            systems[0].key,
+        )
+
+
+class TestResume:
+    def test_failed_sweep_resumes_without_recomputing_healthy_cells(
+        self, tmp_path, clean_fingerprint
+    ):
+        workloads, systems = small_workloads(), small_systems()
+        plan = FaultPlan.single("worker.evaluate", kind="raise", times=1)
+        broken = ExperimentRunner(
+            cache_dir=tmp_path, faults=plan, retry_policy=RetryPolicy.none()
+        ).run_suite(workloads, systems=systems)
+        assert len(broken.errors) == 1
+
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        resumed = runner.run_suite(workloads, systems=systems, resume=True)
+        assert resumed.resumed
+        assert not resumed.errors
+        assert resumed.table.fingerprint() == clean_fingerprint
+        # Only the previously failed cell recomputed.
+        assert resumed.metrics["evaluate"].cache_misses == 1
+        cells = len(workloads) * len(systems)
+        assert resumed.metrics["evaluate"].cache_hits == cells - 1
+
+    def test_manifest_records_outcomes(self, tmp_path):
+        workloads, systems = small_workloads(), small_systems()
+        plan = FaultPlan.single("worker.evaluate", kind="raise", times=1)
+        runner = ExperimentRunner(
+            cache_dir=tmp_path, faults=plan, retry_policy=RetryPolicy.none()
+        )
+        runner.run_suite(workloads, systems=systems)
+        manifests = list((tmp_path / "sweep").glob("*.json"))
+        assert len(manifests) == 1
+        manifest = json.loads(manifests[0].read_text())
+        statuses = sorted(
+            cell["status"] for cell in manifest["cells"].values()
+        )
+        assert statuses.count("error") == 1
+        assert statuses.count("ok") == len(workloads) * len(systems) - 1
+        assert manifest["completed"] is False
+        failed = next(
+            cell
+            for cell in manifest["cells"].values()
+            if cell["status"] == "error"
+        )
+        assert failed["error"]["error_type"] == "WorkerCrashError"
+
+
+class TestAcceptanceScenario:
+    """The ISSUE's acceptance sweep: corrupt + crash + stall in one run."""
+
+    def test_three_faults_converge_and_resume_finishes(self, tmp_path):
+        workloads = small_workloads() + [
+            StridedCopyWorkload(stride_lines=4, accesses_per_thread=600)
+        ]
+        systems = [
+            system_by_key("bs_dm"),
+            system_by_key("bs_hm"),
+            system_by_key("sdm_bsm"),
+        ]
+        clean = ExperimentRunner(cache_dir=tmp_path).run_suite(
+            workloads, systems=systems
+        )
+        assert not clean.errors
+        reference = clean.table.fingerprint()
+
+        # Cells 0..2 (workload 0 under every system) lose their cached
+        # results; of those, one recompute crashes once and one stalls
+        # past the timeout.
+        tokens = [f"{workloads[0].name}:{s.key}" for s in systems]
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="store.load.result", kind="corrupt", times=3),
+                FaultSpec(
+                    site="worker.evaluate", kind="raise", match=tokens[1]
+                ),
+                FaultSpec(
+                    site="worker.evaluate",
+                    kind="stall",
+                    seconds=10.0,
+                    match=tokens[2],
+                ),
+            )
+        )
+        faulty = ExperimentRunner(
+            cache_dir=tmp_path, max_workers=2, cell_timeout=2.0, faults=plan
+        ).run_suite(workloads, systems=systems)
+
+        # Only the timed-out cell may appear in errors...
+        assert [
+            (e.workload, e.system, e.error_type) for e in faulty.errors
+        ] == [(workloads[0].name, systems[2].key, "CellTimeout")]
+        # ...and every completed cell is bit-identical to the clean run.
+        fingerprint = faulty.table.fingerprint()
+        for workload, row in fingerprint["results"].items():
+            for system, cell in row.items():
+                assert cell == reference["results"][workload][system]
+
+        # The same plan resumes against the same ledger: every fault
+        # budget is spent, so the sweep completes with zero
+        # recomputation of healthy cells.
+        resumed = ExperimentRunner(
+            cache_dir=tmp_path, max_workers=2, cell_timeout=2.0, faults=plan
+        ).run_suite(workloads, systems=systems, resume=True)
+        assert resumed.resumed
+        assert not resumed.errors
+        assert resumed.table.fingerprint() == reference
+        assert resumed.metrics["evaluate"].cache_misses == 1
+
+
+class TestCellErrorTolerance:
+    def test_from_dict_tolerates_missing_and_extra_keys(self):
+        old_manifest_entry = {
+            "workload": "w",
+            "system": "s",
+            "stage": "evaluate",
+            "message": "boom",
+        }
+        error = CellError.from_dict(old_manifest_entry)
+        assert error.error_type == "" and error.attempts == 1
+
+        future_entry = dict(
+            old_manifest_entry, attempts=4, error_type="OSError", galaxy="m31"
+        )
+        error = CellError.from_dict(future_entry)
+        assert error.attempts == 4 and error.error_type == "OSError"
+
+        sparse = CellError.from_dict({"message": "?"})
+        assert sparse.workload == "?" and sparse.stage == "evaluate"
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(backoff_seconds=0.1, backoff_factor=3.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.3)
+        assert policy.delay(3) == pytest.approx(0.9)
+
+    def test_should_retry_classifies(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.should_retry("WorkerCrashError", 1)
+        assert not policy.should_retry("WorkerCrashError", 2)
+        assert not policy.should_retry("RuntimeError", 1)
+        assert not policy.should_retry(None, 1)
+        assert not RetryPolicy.none().should_retry("WorkerCrashError", 1)
+
+
+class TestErrorHierarchy:
+    def test_new_errors_are_repro_errors(self):
+        from repro.errors import ReproError
+
+        for exc in (CacheCorruptionError, RetryExhaustedError, WorkerCrashError):
+            assert issubclass(exc, ReproError)
