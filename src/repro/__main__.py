@@ -12,6 +12,9 @@ without writing any code:
   complete suites, ``--workers N`` to parallelise, ``--cache-dir`` to
   memoise stages on disk, ``--resume`` to finish an interrupted
   sweep, ``--json`` for machine-readable output);
+* ``bench``   — translation-datapath microbenchmark: fused
+  translate+decode vs the pre-refactor baseline, written to
+  ``BENCH_translation.json`` (``--min-speedup`` gates CI);
 * ``verify-cache`` — checksum + decode every stage-cache entry,
   quarantining corrupt ones (``--gc`` sweeps tmp debris, and
   ``--purge-quarantine`` empties the quarantine).
@@ -165,6 +168,45 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Benchmark the translation datapath; write BENCH_translation.json."""
+    import json
+
+    from repro.system.bench import run_benchmark, write_report
+
+    report = run_benchmark(
+        accesses=args.accesses,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    path = write_report(report, args.out)
+    summary = report["summary_speedup_geomean"]
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"translation bench: {args.accesses} accesses -> {path}")
+        for scenario, cell in report["cells"].items():
+            fused = cell["translate_decode"]
+            print(
+                f"  {scenario:8s} translate+decode "
+                f"{fused['fused_maccesses_per_s']:8.1f} Macc/s "
+                f"({fused['speedup']:.2f}x vs pre-refactor baseline)"
+            )
+        print(
+            "  geomean speedups: "
+            + ", ".join(f"{k} {v:.2f}x" for k, v in summary.items())
+        )
+    if summary["translate_decode"] < args.min_speedup:
+        print(
+            f"error: translate_decode geomean speedup "
+            f"{summary['translate_decode']:.2f}x below the "
+            f"--min-speedup {args.min_speedup:.2f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_verify_cache(args) -> int:
     """Verify (and optionally sweep) the on-disk stage cache."""
     import json
@@ -254,6 +296,31 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="finish an interrupted sweep (healthy cells served from cache)",
     )
+    bench = sub.add_parser(
+        "bench", help="translation-datapath microbenchmark (fused vs legacy)"
+    )
+    bench.add_argument(
+        "--accesses", type=int, default=1_000_000, help="trace length"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (min taken)"
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_translation.json",
+        help="where to write the JSON report",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="also print the report as JSON"
+    )
+    bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the fused translate+decode geomean speedup "
+        "reaches this factor (CI gate)",
+    )
     verify = sub.add_parser(
         "verify-cache", help="checksum the stage cache, quarantine bad entries"
     )
@@ -276,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         "hw": cmd_hw,
         "audit": cmd_audit,
         "suite": cmd_suite,
+        "bench": cmd_bench,
         "verify-cache": cmd_verify_cache,
     }
     return handlers[args.command](args)

@@ -6,6 +6,7 @@ modified memory controller and its software-visible control plane need.
 
 from repro.core.amu import AddressMappingUnit, amu_area_report
 from repro.core.bitfield import AddressLayout, BitField
+from repro.core.bitmatrix import BitOperator, BitProjection, gf2_inverse, gf2_matmul
 from repro.core.bitshuffle import (
     rank_bits_by_flip_rate,
     select_global_mapping,
@@ -37,6 +38,8 @@ __all__ = [
     "AddressMappingUnit",
     "AddressTranslator",
     "BitField",
+    "BitOperator",
+    "BitProjection",
     "ChunkGeometry",
     "ChunkMappingTable",
     "GlobalMappingTranslator",
@@ -49,6 +52,8 @@ __all__ = [
     "audit_controller",
     "cmt_storage_report",
     "default_hash_mapping",
+    "gf2_inverse",
+    "gf2_matmul",
     "hash_mapping",
     "identity_mapping",
     "mapping_from_field_sources",

@@ -17,6 +17,7 @@ import math
 
 import numpy as np
 
+from repro.core.bitmatrix import BitOperator
 from repro.core.chunks import ChunkGeometry
 from repro.core.mapping import PermutationMapping
 from repro.errors import MappingError
@@ -89,14 +90,16 @@ class AddressMappingUnit:
         return self.validate(perm)
 
     # -- datapath ---------------------------------------------------------
+    def window_operator(self, perm) -> BitOperator:
+        """The crossbar configuration as a window-width GF(2) operator."""
+        return BitOperator.from_permutation(self.validate(perm))
+
     def apply(self, offsets, perm) -> np.ndarray | int:
         """Shuffle chunk-offset window bits through the crossbar.
 
         ``offsets`` are window-relative values (< 2**window_bits).
         """
-        perm = self.validate(perm)
-        mapping = PermutationMapping(perm)
-        return mapping.apply(offsets)
+        return self.window_operator(perm).apply(offsets)
 
     def full_mapping(
         self, perm, geometry: ChunkGeometry, address_bits: int | None = None

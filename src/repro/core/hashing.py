@@ -14,9 +14,8 @@ patterns still collapse — the behaviour Fig. 11(b) attributes to HM.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.bitfield import AddressLayout
+from repro.core.bitmatrix import BitOperator
 from repro.core.mapping import LinearMapping
 from repro.errors import MappingError
 
@@ -32,12 +31,15 @@ def hash_mapping(
     ``fold_sources[channel_bit_index]`` lists the *extra* PA bit
     positions XORed into that channel bit (its identity bit is always
     included).  Bits used as fold sources keep their identity positions
-    too, which is what makes the matrix invertible.
+    too, which is what makes the matrix invertible.  The fold is
+    expressed as identity-plus-XOR-terms in the
+    :class:`~repro.core.bitmatrix.BitOperator` algebra, so it compiles
+    to one pass for the identity part plus one per fold source.
     """
     if "channel" not in layout:
         raise MappingError("layout has no channel field to hash into")
     channel = layout["channel"]
-    matrix = np.eye(layout.width, dtype=np.uint8)
+    terms: dict[int, list[int]] = {}
     for channel_bit, extras in fold_sources.items():
         if not 0 <= channel_bit < channel.width:
             raise MappingError(
@@ -51,8 +53,9 @@ def hash_mapping(
                 raise MappingError(
                     "folding channel bits into each other risks singularity"
                 )
-            matrix[row, pa_bit] ^= 1
-    return LinearMapping(matrix)
+            terms.setdefault(row, []).append(pa_bit)
+    operator = BitOperator.from_xor_terms(layout.width, terms)
+    return LinearMapping(operator.matrix)
 
 
 def default_hash_mapping(

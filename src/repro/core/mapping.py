@@ -11,10 +11,13 @@ Two families of invertible mapping are modelled:
   ``BS+HM`` baseline): each HA bit is the XOR of a set of PA bits, i.e.
   an invertible linear transform over GF(2).
 
-A permutation is a special case of a linear map; both expose the same
-``apply`` / ``inverse`` interface and a rigorous invertibility check, the
-property Section 4 requires for functional correctness ("one PA can map
-to only one HA or vice versa").
+Both are thin, validated views over one substrate — the
+:class:`~repro.core.bitmatrix.BitOperator` GF(2) algebra — so they share
+``apply`` / ``inverse`` / ``as_operator`` and a rigorous invertibility
+check, the property Section 4 requires for functional correctness ("one
+PA can map to only one HA or vice versa").  ``apply`` runs the
+operator's compiled bit program: the identity is one vector pass, a
+typical shuffle a handful, instead of one pass per address bit.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.bitfield import AddressLayout
+from repro.core.bitmatrix import BitOperator, gf2_inverse
 from repro.errors import MappingError
 
 __all__ = [
@@ -35,8 +39,9 @@ __all__ = [
 class PermutationMapping:
     """A bit permutation: HA bit ``i`` equals PA bit ``source[i]``.
 
-    ``source`` must be a permutation of ``range(width)``.  Application is
-    vectorised: ``width`` shift/mask passes over the whole address array.
+    ``source`` must be a permutation of ``range(width)``.  Application
+    lowers to the operator algebra's compiled program: all bits moving
+    the same distance travel in one shift/mask pass.
     """
 
     def __init__(self, source: "list[int] | np.ndarray"):
@@ -53,6 +58,7 @@ class PermutationMapping:
             )
         self._source = source_arr
         self._width = width
+        self._operator = BitOperator.from_permutation(source_arr)
 
     @property
     def width(self) -> int:
@@ -81,19 +87,11 @@ class PermutationMapping:
 
     def apply(self, pa):
         """Map physical address(es) to hardware address(es)."""
-        scalar = np.isscalar(pa) or isinstance(pa, int)
-        pa_arr = np.asarray(pa, dtype=np.uint64)
-        ha = np.zeros_like(pa_arr)
-        for ha_bit in range(self._width):
-            pa_bit = int(self._source[ha_bit])
-            if pa_bit == ha_bit:
-                ha |= pa_arr & np.uint64(1 << ha_bit)
-            else:
-                bit = (pa_arr >> np.uint64(pa_bit)) & np.uint64(1)
-                ha |= bit << np.uint64(ha_bit)
-        if scalar:
-            return int(ha)
-        return ha
+        return self._operator.apply(pa)
+
+    def as_operator(self) -> BitOperator:
+        """The mapping as a GF(2) bit operator (shared, do not mutate)."""
+        return self._operator
 
     def inverse(self) -> "PermutationMapping":
         """Return the HA-to-PA mapping."""
@@ -131,33 +129,11 @@ class PermutationMapping:
 
     def as_matrix(self) -> np.ndarray:
         """Return the equivalent GF(2) matrix (rows = HA bits)."""
-        matrix = np.zeros((self._width, self._width), dtype=np.uint8)
-        matrix[np.arange(self._width), self._source] = 1
-        return matrix
+        return self._operator.matrix
 
     def to_linear(self) -> "LinearMapping":
         """The same mapping as a GF(2) linear transform."""
         return LinearMapping(self.as_matrix())
-
-
-def _gf2_inverse(matrix: np.ndarray) -> np.ndarray:
-    """Invert a square GF(2) matrix; raise MappingError if singular."""
-    n = matrix.shape[0]
-    work = matrix.astype(np.uint8).copy()
-    inverse = np.eye(n, dtype=np.uint8)
-    for col in range(n):
-        pivot_rows = np.nonzero(work[col:, col])[0]
-        if pivot_rows.size == 0:
-            raise MappingError("GF(2) matrix is singular (mapping not 1-to-1)")
-        pivot = col + int(pivot_rows[0])
-        if pivot != col:
-            work[[col, pivot]] = work[[pivot, col]]
-            inverse[[col, pivot]] = inverse[[pivot, col]]
-        other = np.nonzero(work[:, col])[0]
-        other = other[other != col]
-        work[other] ^= work[col]
-        inverse[other] ^= inverse[col]
-    return inverse
 
 
 class LinearMapping:
@@ -174,16 +150,9 @@ class LinearMapping:
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise MappingError("matrix must be square")
         self._matrix = matrix
-        self._inverse_matrix = _gf2_inverse(matrix)  # raises if singular
+        self._inverse_matrix = gf2_inverse(matrix)  # raises if singular
         self._width = matrix.shape[0]
-        # Row bit masks let apply() XOR-fold input bits with integer ops.
-        self._row_masks = np.array(
-            [
-                int("".join("1" if b else "0" for b in row[::-1]), 2)
-                for row in matrix
-            ],
-            dtype=np.uint64,
-        )
+        self._operator = BitOperator(matrix)
 
     @property
     def width(self) -> int:
@@ -207,28 +176,17 @@ class LinearMapping:
         terms = int(self._matrix.sum())
         return f"LinearMapping(width={self._width}, xor_terms={terms})"
 
-    @staticmethod
-    def _parity(values: np.ndarray) -> np.ndarray:
-        """Bit-count parity of each uint64 (vectorised popcount & 1)."""
-        v = values.copy()
-        for shift in (32, 16, 8, 4, 2, 1):
-            v ^= v >> np.uint64(shift)
-        return v & np.uint64(1)
-
     def apply(self, pa):
         """Map physical address(es) to hardware address(es)."""
         scalar = np.isscalar(pa) or isinstance(pa, int)
-        pa_arr = np.atleast_1d(np.asarray(pa, dtype=np.uint64))
-        ha = np.zeros_like(pa_arr)
-        for ha_bit in range(self._width):
-            mask = self._row_masks[ha_bit]
-            if mask == 0:
-                continue
-            bit = self._parity(pa_arr & mask)
-            ha |= bit << np.uint64(ha_bit)
         if scalar:
-            return int(ha[0])
-        return ha.reshape(np.shape(pa))
+            return self._operator.apply(pa)
+        pa_arr = np.atleast_1d(np.asarray(pa, dtype=np.uint64))
+        return self._operator.apply(pa_arr).reshape(np.shape(pa))
+
+    def as_operator(self) -> BitOperator:
+        """The transform as a GF(2) bit operator (shared, do not mutate)."""
+        return self._operator
 
     def inverse(self) -> "LinearMapping":
         """The HA-to-PA transform (precomputed at construction)."""

@@ -9,18 +9,29 @@ Two translator implementations share one interface:
   selected through the CMT and applied by the AMU, with the chunk number
   passing through unchanged (Section 4's correctness rule).
 
-Both translate whole numpy traces at once; the SDAM path groups the
-trace by live mapping index so each distinct mapping is applied with one
-vectorised pass.
+Both translate whole numpy traces at once, and both expose the fused
+datapath hook :meth:`translation_groups`: the trace partitioned into
+(selector, :class:`~repro.core.bitmatrix.BitOperator`) groups, which the
+memory side precomposes with its field extraction so a trace goes
+PA -> (channel, bank, row, column) in one vectorised pass with no
+intermediate hardware-address array (see ``repro.hbm.decode``).
+
+The SDAM path short-circuits when only the boot identity mapping is
+live, applies a single compiled operator when a trace touches one
+mapping, and otherwise tabulates each live mapping's crossbar — the
+chunk-offset window is small (15 bits by default), so a mapping's AMU
+truth table fits in one small array and a mixed-mapping trace
+translates with a single gather instead of one masked pass per mapping.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Iterator, Protocol
 
 import numpy as np
 
 from repro.core.amu import AddressMappingUnit
+from repro.core.bitmatrix import BitOperator
 from repro.core.chunks import ChunkGeometry
 from repro.core.cmt import ChunkMappingTable
 from repro.core.mapping import LinearMapping, PermutationMapping
@@ -36,6 +47,18 @@ class AddressTranslator(Protocol):
         """Map physical addresses to hardware addresses."""
         ...  # pragma: no cover - protocol
 
+    def translation_groups(
+        self, pa: np.ndarray
+    ) -> Iterator[tuple[np.ndarray | None, BitOperator]]:
+        """Partition a trace into (selector, operator) groups.
+
+        A ``None`` selector means the operator covers the whole trace;
+        otherwise the selector is a boolean mask over ``pa``.  Consumers
+        fuse each group's operator with downstream bit math (decode)
+        instead of materialising the hardware-address array.
+        """
+        ...  # pragma: no cover - protocol
+
 
 class GlobalMappingTranslator:
     """A single fixed mapping for the whole physical address space."""
@@ -45,7 +68,19 @@ class GlobalMappingTranslator:
 
     def translate(self, pa: np.ndarray) -> np.ndarray:
         """Apply the boot-time mapping to a PA trace."""
-        return np.asarray(self.mapping.apply(np.asarray(pa, dtype=np.uint64)))
+        if not isinstance(pa, np.ndarray) or pa.dtype != np.uint64:
+            pa = np.asarray(pa, dtype=np.uint64)
+        return self.mapping.apply(pa)
+
+    def translate_scalar(self, pa: int) -> int:
+        """Convenience single-address translation."""
+        return int(self.mapping.apply(int(pa)))
+
+    def translation_groups(
+        self, pa: np.ndarray
+    ) -> Iterator[tuple[np.ndarray | None, BitOperator]]:
+        """One group: the boot-time mapping covers everything."""
+        yield None, self.mapping.as_operator()
 
     def __repr__(self) -> str:
         return f"GlobalMappingTranslator({self.mapping!r})"
@@ -59,6 +94,11 @@ class SDAMController:
     the datapath then translates traces chunk-by-chunk.
     """
 
+    #: Widest chunk-offset window the controller will tabulate.  Beyond
+    #: this the truth tables stop fitting in cache (and memory: 256
+    #: mappings x 2^bits x 4 B) and the per-mapping group loop wins.
+    LUT_MAX_WINDOW_BITS = 16
+
     def __init__(self, geometry: ChunkGeometry, max_mappings: int = 256):
         self.geometry = geometry
         self.amu = AddressMappingUnit(geometry.window_bits)
@@ -67,6 +107,13 @@ class SDAMController:
             window_bits=geometry.window_bits,
             max_mappings=max_mappings,
         )
+        # Full-width operators per mapping index.  CMT configurations are
+        # immutable once interned (set_chunk rebinds chunks, never edits
+        # a config), so entries never go stale.
+        self._operators: dict[int, BitOperator] = {}
+        # Crossbar truth tables, one row per interned mapping; rows are
+        # appended as mappings arrive and never change afterwards.
+        self._window_luts: np.ndarray | None = None
 
     # -- software-facing control interface ---------------------------------
     def register_mapping(self, mapping) -> int:
@@ -102,21 +149,106 @@ class SDAMController:
         window_perm = self.cmt.config_of(mapping_id)
         return self.amu.full_mapping(window_perm, self.geometry)
 
+    def operator_of(self, mapping_id: int) -> BitOperator:
+        """The full-width GF(2) operator a mapping id realises (cached)."""
+        operator = self._operators.get(mapping_id)
+        if operator is None:
+            operator = self.full_mapping(mapping_id).as_operator()
+            self._operators[mapping_id] = operator
+        return operator
+
+    def window_lut(self) -> np.ndarray | None:
+        """Crossbar truth tables: ``lut[index, window] = shuffled window``.
+
+        One row per live mapping (row 0 is the identity), materialising
+        what the AMU crossbar computes combinationally in hardware.
+        ``None`` when the window is too wide to tabulate
+        (:attr:`LUT_MAX_WINDOW_BITS`).  Rows are appended lazily as
+        mappings are interned; existing rows are immutable, so callers
+        may hold a reference across driver writes.
+        """
+        window_bits = self.geometry.window_bits
+        if window_bits > self.LUT_MAX_WINDOW_BITS:
+            return None
+        live = self.cmt.live_mappings
+        if self._window_luts is None or self._window_luts.shape[0] < live:
+            luts = np.empty((live, 1 << window_bits), dtype=np.uint32)
+            start = 0
+            if self._window_luts is not None:
+                start = self._window_luts.shape[0]
+                luts[:start] = self._window_luts
+            values = np.arange(1 << window_bits, dtype=np.uint64)
+            for index in range(start, live):
+                operator = self.amu.window_operator(self.cmt.config_of(index))
+                luts[index] = operator.apply(values).astype(np.uint32)
+            self._window_luts = luts
+        return self._window_luts
+
     # -- datapath -----------------------------------------------------------
-    def translate(self, pa: np.ndarray) -> np.ndarray:
-        """PA -> HA for a whole trace, chunk by chunk through the CMT."""
-        pa = np.asarray(pa, dtype=np.uint64)
-        self.geometry.check_address(pa)
+    def _mapping_indices(self, pa: np.ndarray) -> np.ndarray:
         chunk_no = self.geometry.chunk_number(pa)
-        mapping_idx = self.cmt.mapping_index_of(np.asarray(chunk_no))
-        ha = pa.copy()
+        return self.cmt.mapping_index_of(np.asarray(chunk_no))
+
+    def translation_groups(
+        self, pa: np.ndarray
+    ) -> Iterator[tuple[np.ndarray | None, BitOperator]]:
+        """Partition a PA trace by live mapping index.
+
+        Single-mapping fast path: when only one mapping can be (or is)
+        involved, one whole-trace group comes back and callers skip the
+        per-group masking entirely.
+        """
+        if not isinstance(pa, np.ndarray) or pa.dtype != np.uint64:
+            pa = np.asarray(pa, dtype=np.uint64)
+        self.geometry.check_address(pa)
+        width = self.geometry.address_bits
+        if self.cmt.live_mappings == 1 or pa.size == 0:
+            # Only the boot identity is interned: nothing can shuffle.
+            yield None, BitOperator.identity(width)
+            return
+        mapping_idx = self._mapping_indices(pa)
+        first = int(mapping_idx.flat[0])
+        if not np.any(mapping_idx != first):
+            yield None, self.operator_of(first)
+            return
         for idx in np.unique(mapping_idx):
-            if idx == 0:
-                continue  # identity: nothing to shuffle
-            select = mapping_idx == idx
-            mapping = self.full_mapping(int(idx))
-            ha[select] = mapping.apply(pa[select])
-        return ha
+            yield mapping_idx == idx, self.operator_of(int(idx))
+
+    def translate(self, pa: np.ndarray) -> np.ndarray:
+        """PA -> HA for a whole trace, chunk by chunk through the CMT.
+
+        A trace under one mapping goes through that mapping's compiled
+        operator; a mixed-mapping trace goes through the crossbar truth
+        tables — one CMT gather, one LUT gather — with the masked
+        per-mapping group loop kept as the wide-window fallback.
+        """
+        if not isinstance(pa, np.ndarray) or pa.dtype != np.uint64:
+            pa = np.asarray(pa, dtype=np.uint64)
+        self.geometry.check_address(pa)
+        if self.cmt.live_mappings == 1 or pa.size == 0:
+            return pa.copy()
+        mapping_idx = self._mapping_indices(pa)
+        first = int(mapping_idx.flat[0])
+        if not np.any(mapping_idx != first):
+            operator = self.operator_of(first)
+            return pa.copy() if operator.is_identity() else operator.apply(pa)
+        lut = self.window_lut()
+        if lut is None:  # window too wide to tabulate: masked group loop
+            ha = pa.copy()
+            for idx in np.unique(mapping_idx):
+                operator = self.operator_of(int(idx))
+                if operator.is_identity():
+                    continue
+                select = mapping_idx == idx
+                ha[select] = operator.apply(pa[select])
+            return ha
+        low, _high = self.geometry.window_slice()
+        window_bits = self.geometry.window_bits
+        window = (pa >> np.uint64(low)) & np.uint64((1 << window_bits) - 1)
+        rows = mapping_idx.astype(np.int64) << np.int64(window_bits)
+        shuffled = lut.reshape(-1)[rows | window.astype(np.int64)]
+        keep = np.uint64(~(((1 << window_bits) - 1) << low) & (2**64 - 1))
+        return (pa & keep) | (shuffled.astype(np.uint64) << np.uint64(low))
 
     def translate_scalar(self, pa: int) -> int:
         """Convenience single-address translation."""

@@ -42,6 +42,10 @@ class AcceleratorModel:
         """Memory-level parallelism handed to the memory model."""
         return self.lanes * self.mlp_per_lane
 
+    def backend_hints(self) -> dict:
+        """Constructor hints for the memory backend (the MLP window)."""
+        return {"max_inflight": self.max_inflight}
+
     def external_trace(
         self, thread_traces: list[AccessTrace]
     ) -> ExternalTraceResult:

@@ -62,6 +62,10 @@ class CPUModel:
         """MLP handed to the memory model."""
         return self.cores * self.mlp_per_core
 
+    def backend_hints(self) -> dict:
+        """Constructor hints for the memory backend (the MLP window)."""
+        return {"max_inflight": self.max_inflight}
+
     def external_trace(
         self, thread_traces: list[AccessTrace]
     ) -> ExternalTraceResult:

@@ -1,19 +1,37 @@
-"""3D-memory simulator substrate: device configs and two fidelity tiers."""
+"""3D-memory simulator substrate: device configs, fused decode and
+pluggable backends (two built-in fidelity tiers)."""
 
+from repro.hbm.backend import (
+    MemoryBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.hbm.config import HBMConfig, ddr4_config, hbm2_config
-from repro.hbm.decode import DecodedTrace, decode_trace
+from repro.hbm.decode import (
+    DecodedTrace,
+    DecodePlan,
+    decode_trace,
+    decode_translated,
+)
 from repro.hbm.device import HBMDevice
 from repro.hbm.fastmodel import WindowModel, row_hit_mask
 from repro.hbm.stats import RunStats
 
 __all__ = [
     "DecodedTrace",
+    "DecodePlan",
     "HBMConfig",
     "HBMDevice",
+    "MemoryBackend",
     "RunStats",
     "WindowModel",
+    "available_backends",
+    "create_backend",
     "ddr4_config",
     "decode_trace",
+    "decode_translated",
     "hbm2_config",
+    "register_backend",
     "row_hit_mask",
 ]

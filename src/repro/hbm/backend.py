@@ -1,0 +1,87 @@
+"""Pluggable memory backends behind one protocol.
+
+Both fidelity tiers — the vectorised :class:`~repro.hbm.fastmodel.
+WindowModel` and the event-driven :class:`~repro.hbm.device.HBMDevice` —
+consume the *same* fused decoded stream (:class:`~repro.hbm.decode.
+DecodedTrace`) through :class:`MemoryBackend`.  The machine selects a
+backend by name from a registry, so alternative device models (a DDR
+model, a remote simulator bridge, a statistics-only stub) plug in
+without touching the pipeline:
+
+>>> from repro.hbm import register_backend, create_backend
+>>> backend = create_backend("fast", hbm2_config(), max_inflight=64)
+>>> stats = backend.simulate_decoded(decoded)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.errors import ConfigError
+from repro.hbm.config import HBMConfig
+from repro.hbm.decode import DecodedTrace
+from repro.hbm.stats import RunStats
+
+__all__ = [
+    "MemoryBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]
+
+
+@runtime_checkable
+class MemoryBackend(Protocol):
+    """One memory device model consuming decoded request streams."""
+
+    config: HBMConfig
+
+    def simulate(self, ha) -> RunStats:
+        """Run a hardware-address trace (decodes, then simulates)."""
+        ...  # pragma: no cover - protocol
+
+    def simulate_decoded(self, decoded: DecodedTrace) -> RunStats:
+        """Run an already-decoded request stream."""
+        ...  # pragma: no cover - protocol
+
+
+BackendFactory = Callable[..., MemoryBackend]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory) -> None:
+    """Register a backend under ``name`` (overwrites an existing entry)."""
+    if not name:
+        raise ConfigError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str, config: HBMConfig, **kwargs) -> MemoryBackend:
+    """Instantiate a registered backend for a device configuration."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown memory backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    return factory(config, **kwargs)
+
+
+def _register_builtins() -> None:
+    # Imported lazily to keep backend.py free of circular imports: the
+    # model modules import decode, which imports config only.
+    from repro.hbm.device import HBMDevice
+    from repro.hbm.fastmodel import WindowModel
+
+    register_backend("fast", WindowModel)
+    register_backend("event", HBMDevice)
+
+
+_register_builtins()

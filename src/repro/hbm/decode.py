@@ -1,19 +1,46 @@
 """Hardware-address decode: HA -> (channel, bank, row, column).
 
 The memory controller's final stage: split a hardware address into the
-physical coordinates the device serves.  Fully vectorised so an entire
-trace decodes in a handful of numpy passes.
+physical coordinates the device serves.  Field extraction is itself a
+GF(2) bit operation (a row slice of the identity), so it lowers to the
+:mod:`repro.core.bitmatrix` algebra — and, crucially, it *composes*:
+
+* :class:`DecodePlan` precomposes an address-mapping operator with the
+  per-field projections, so a physical-address trace decodes straight
+  to (channel, bank, row, column) in one vectorised pass per field with
+  no intermediate hardware-address array;
+* :func:`decode_translated` consumes an
+  :class:`~repro.core.sdam.AddressTranslator`'s translation groups —
+  the fused datapath the machine's evaluate stage runs;
+* :func:`decode_trace` is the identity-mapping plan, the classic
+  HA-array entry point (kept for the debug/legacy two-step path).
+
+Plans are cached per (operator, config): an experiment sweep compiles
+each live mapping once and reuses it across every trace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
+from repro.core.bitmatrix import BitOperator, BitProjection
+from repro.core.sdam import AddressTranslator
+from repro.errors import MappingError
 from repro.hbm.config import HBMConfig
 
-__all__ = ["DecodedTrace", "decode_trace"]
+__all__ = [
+    "DecodedTrace",
+    "DecodePlan",
+    "decode_trace",
+    "decode_translated",
+    "plan_for",
+]
+
+#: HA fields a decoded trace carries, in plan order.
+DECODE_FIELDS = ("channel", "bank", "row", "column")
 
 
 @dataclass(frozen=True)
@@ -34,17 +61,114 @@ class DecodedTrace:
         return self.channel.size
 
 
+class DecodePlan:
+    """A compiled PA -> (channel, bank, row, column) pipeline.
+
+    The plan slices ``operator``'s rows at each field of the config's
+    address layout, yielding one :class:`BitProjection` per field:
+    translation and field extraction fused into a single bit program.
+    With the identity operator this degenerates to plain field
+    extraction (one shift/mask pass per field).
+    """
+
+    def __init__(self, config: HBMConfig, operator: BitOperator | None = None):
+        layout = config.layout()
+        if operator is None:
+            operator = BitOperator.identity(layout.width)
+        if operator.width != layout.width:
+            operator = _pad_operator(operator, layout.width)
+        self.config = config
+        self.operator = operator
+        self._projections: list[tuple[str, BitProjection]] = [
+            (name, operator.project(layout[name].shift, layout[name].width))
+            for name in DECODE_FIELDS
+        ]
+
+    def fields(self, pa: np.ndarray) -> dict[str, np.ndarray]:
+        """Raw int64 field arrays of the mapped addresses."""
+        if not isinstance(pa, np.ndarray) or pa.dtype != np.uint64:
+            pa = np.asarray(pa, dtype=np.uint64)
+        return {
+            name: projection.apply(pa).astype(np.int64)
+            for name, projection in self._projections
+        }
+
+    def decode(self, pa: np.ndarray) -> DecodedTrace:
+        """Fused translate + decode of a physical-address trace."""
+        fields = self.fields(pa)
+        return DecodedTrace(
+            channel=fields["channel"],
+            bank=fields["bank"],
+            row=fields["row"],
+            column=fields["column"],
+            global_bank=fields["channel"] * self.config.banks_per_channel
+            + fields["bank"],
+        )
+
+    def __repr__(self) -> str:
+        ops = sum(p.num_ops for _, p in self._projections)
+        return f"DecodePlan({self.config.name}, {self.operator!r}, {ops} ops)"
+
+
+def _pad_operator(operator: BitOperator, width: int) -> BitOperator:
+    """Embed a narrower operator in ``width`` bits (high bits identity)."""
+    if operator.width > width:
+        raise MappingError(
+            f"operator width {operator.width} exceeds layout width {width}"
+        )
+    matrix = np.eye(width, dtype=np.uint8)
+    matrix[: operator.width, : operator.width] = operator.matrix
+    return BitOperator(matrix)
+
+
+@lru_cache(maxsize=512)
+def _cached_plan(config: HBMConfig, operator: BitOperator) -> DecodePlan:
+    return DecodePlan(config, operator)
+
+
+def plan_for(config: HBMConfig, operator: BitOperator | None = None) -> DecodePlan:
+    """The (cached) decode plan fusing ``operator`` with ``config``'s layout."""
+    if operator is None:
+        operator = BitOperator.identity(config.layout().width)
+    return _cached_plan(config, operator)
+
+
 def decode_trace(ha: np.ndarray, config: HBMConfig) -> DecodedTrace:
     """Decode hardware addresses into device coordinates."""
-    ha = np.asarray(ha, dtype=np.uint64)
-    layout = config.layout()
-    fields = layout.decode(ha)
-    channel = fields["channel"].astype(np.int64)
-    bank = fields["bank"].astype(np.int64)
-    return DecodedTrace(
-        channel=channel,
-        bank=bank,
-        row=fields["row"].astype(np.int64),
-        column=fields["column"].astype(np.int64),
-        global_bank=channel * config.banks_per_channel + bank,
-    )
+    return plan_for(config).decode(ha)
+
+
+def decode_translated(
+    pa: np.ndarray,
+    translator: AddressTranslator,
+    config: HBMConfig,
+) -> DecodedTrace:
+    """Fused PA -> (channel, bank, row, column) for a whole trace.
+
+    The common cases — a global mapping, or an SDAM controller whose
+    trace touches one mapping — decode through a single cached
+    :class:`DecodePlan` with no intermediate hardware-address array.  A
+    mixed-mapping trace instead materialises HA once through the
+    translator's vectorised path (for the SDAM controller a single
+    crossbar-LUT gather) and decodes it with the cached identity plan:
+    measured on million-access traces, one HA array beats scattering
+    four field arrays per group.  Bit-identical to
+    ``decode_trace(translator.translate(pa), config)`` — the legacy
+    two-step kept as the ``debug_ha`` path.
+    """
+    if not isinstance(pa, np.ndarray) or pa.dtype != np.uint64:
+        pa = np.asarray(pa, dtype=np.uint64)
+    first = next(translator.translation_groups(pa), None)
+    if first is None:  # empty group iterator (defensive)
+        empty = np.zeros(pa.shape, dtype=np.int64)
+        return DecodedTrace(
+            channel=empty,
+            bank=empty.copy(),
+            row=empty.copy(),
+            column=empty.copy(),
+            global_bank=empty.copy(),
+        )
+    select, operator = first
+    if select is None:
+        return plan_for(config, operator).decode(pa)
+    return plan_for(config).decode(translator.translate(pa))

@@ -17,7 +17,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.hbm.channel import Channel, ChannelRequest
 from repro.hbm.config import HBMConfig
-from repro.hbm.decode import decode_trace
+from repro.hbm.decode import DecodedTrace, decode_trace
 from repro.hbm.stats import RunStats
 
 __all__ = ["HBMDevice"]
@@ -52,14 +52,17 @@ class HBMDevice:
     def simulate(self, ha: np.ndarray) -> RunStats:
         """Run a hardware-address trace through the device."""
         ha = np.asarray(ha, dtype=np.uint64)
-        n = ha.size
+        return self.simulate_decoded(decode_trace(ha, self.config))
+
+    def simulate_decoded(self, decoded: DecodedTrace) -> RunStats:
+        """Run an already-decoded request stream (the fused datapath)."""
+        n = len(decoded)
         channels = self._new_channels()
         num_channels = self.config.num_channels
         if n == 0:
             zeros = np.zeros(num_channels)
             return RunStats(0, 0, 0.0, 0, 0, num_channels, zeros, zeros)
 
-        decoded = decode_trace(ha, self.config)
         completions: list[float] = []
         makespan = 0.0
         admit_time = 0.0

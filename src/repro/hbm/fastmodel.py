@@ -89,12 +89,15 @@ class WindowModel:
     def simulate(self, ha: np.ndarray) -> RunStats:
         """Run a hardware-address trace; return aggregate statistics."""
         ha = np.asarray(ha, dtype=np.uint64)
-        n = ha.size
+        return self.simulate_decoded(decode_trace(ha, self.config))
+
+    def simulate_decoded(self, decoded: DecodedTrace) -> RunStats:
+        """Run an already-decoded request stream (the fused datapath)."""
+        n = len(decoded)
         channels = self.config.num_channels
         if n == 0:
             zeros = np.zeros(channels)
             return RunStats(0, 0, 0.0, 0, 0, channels, zeros, zeros)
-        decoded = decode_trace(ha, self.config)
         hits = row_hit_mask(decoded, self.reorder_window)
         t_burst = self.config.effective_t_burst_ns
         cost = np.where(hits, t_burst, self.config.effective_t_row_miss_ns)

@@ -16,8 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.chunks import ChunkGeometry
-from repro.core.mapping import PermutationMapping
-from repro.core.sdam import SDAMController
+from repro.core.mapping import PermutationMapping, identity_mapping
+from repro.core.sdam import (
+    AddressTranslator,
+    GlobalMappingTranslator,
+    SDAMController,
+)
 from repro.errors import ProfilingError
 from repro.mem.physical import PhysicalMemory
 from repro.mem.virtual import AddressSpace, VMArea
@@ -46,6 +50,7 @@ class Kernel:
         self._next_pid = 1
         # mapping-id 0 is the boot default (identity), always present.
         self._registered_mappings: dict[int, int] = {0: 0}
+        self._identity_translator: GlobalMappingTranslator | None = None
 
     @property
     def sdam_enabled(self) -> bool:
@@ -129,10 +134,31 @@ class Kernel:
         space.munmap(vma, free_frame=self.physical.free_frame)
 
     # -- full translation pipeline ------------------------------------------
+    @property
+    def address_translator(self) -> AddressTranslator:
+        """The PA-to-HA translator this kernel drives.
+
+        The SDAM controller when one is attached, else the boot-time
+        identity — either way an object the fused datapath
+        (:func:`repro.hbm.decode.decode_translated`) can consume.
+        """
+        if self.sdam is not None:
+            return self.sdam
+        if self._identity_translator is None:
+            self._identity_translator = GlobalMappingTranslator(
+                identity_mapping(self.geometry.address_bits)
+            )
+        return self._identity_translator
+
     def translate_to_hardware(
         self, space: AddressSpace, va: np.ndarray
     ) -> np.ndarray:
-        """VA -> PA (page table) -> HA (SDAM or identity)."""
+        """VA -> PA (page table) -> HA (SDAM or identity).
+
+        The legacy two-step path: it materialises the HA array.  The
+        machine's evaluate stage instead feeds ``space.translate_trace``
+        output and :attr:`address_translator` to the fused decoder.
+        """
         pa = space.translate_trace(va)
         if self.sdam is None:
             return pa

@@ -40,9 +40,9 @@ from repro.cpu.accelerator import AcceleratorModel
 from repro.cpu.cpu import CPUModel, ExternalTraceResult
 from repro.cpu.trace import AccessTrace
 from repro.errors import ConfigError
+from repro.hbm.backend import MemoryBackend, available_backends, create_backend
 from repro.hbm.config import HBMConfig, hbm2_config
-from repro.hbm.device import HBMDevice
-from repro.hbm.fastmodel import WindowModel
+from repro.hbm.decode import decode_trace, decode_translated
 from repro.hbm.stats import RunStats
 from repro.mem.kernel import Kernel
 from repro.mem.malloc import MappingAwareAllocator
@@ -244,6 +244,7 @@ class Machine:
         dl_config: AutoencoderConfig | None = None,
         seed: int = 0,
         chunk_colours: int = 8,
+        debug_ha: bool = False,
     ):
         self.system = system
         self.hbm = hbm or hbm2_config()
@@ -256,19 +257,23 @@ class Machine:
             self.compute_ns_per_access = ACCEL_COMPUTE_NS_PER_ACCESS
         else:
             raise ConfigError(f"unknown engine {engine!r}")
-        if memory_model not in ("fast", "event"):
-            raise ConfigError(f"unknown memory model {memory_model!r}")
+        if memory_model not in available_backends():
+            raise ConfigError(
+                f"unknown memory model {memory_model!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
         self.memory_model = memory_model
         self.dl_config = dl_config
         self.seed = seed
         self.chunk_colours = chunk_colours
+        self.debug_ha = debug_ha
         self.layout = self.hbm.layout()
 
     # -- building blocks -----------------------------------------------------
-    def _memory(self):
-        if self.memory_model == "fast":
-            return WindowModel(self.hbm, max_inflight=self.engine.max_inflight)
-        return HBMDevice(self.hbm, max_inflight=self.engine.max_inflight)
+    def _memory(self) -> MemoryBackend:
+        return create_backend(
+            self.memory_model, self.hbm, **self.engine.backend_hints()
+        )
 
     def _allocate(
         self,
@@ -409,12 +414,24 @@ class Machine:
             kernel, workload, mapping_of_variable
         )
         external = self._external(workload, base, eval_seed)
+        # The fused datapath: VA -> PA through the page table, then one
+        # precomposed mapping∘decode pass per translation group straight
+        # into the memory backend — no intermediate HA array.  With
+        # ``debug_ha`` the legacy two-step (translate, then decode) runs
+        # instead; the two are bit-identical (tested).
+        pa = space.translate_trace(external.trace.va)
         if system.sdam:
-            ha = kernel.translate_to_hardware(space, external.trace.va)
+            translator = kernel.address_translator
         else:
-            pa = space.translate_trace(external.trace.va)
-            ha = self._global_translator(mix_profile).translate(pa)
-        stats = self._memory().simulate(ha)
+            translator = self._global_translator(mix_profile)
+        backend = self._memory()
+        if self.debug_ha:
+            ha = translator.translate(pa)
+            stats = backend.simulate_decoded(decode_trace(ha, self.hbm))
+        else:
+            stats = backend.simulate_decoded(
+                decode_translated(pa, translator, self.hbm)
+            )
         intensity = getattr(workload, "compute_intensity", 1.0)
         compute_ns = (
             external.program_accesses * self.compute_ns_per_access * intensity

@@ -1,0 +1,210 @@
+"""Unit + property tests for the GF(2) bit-operator algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmatrix import (
+    BitOperator,
+    BitProjection,
+    gf2_inverse,
+    gf2_matmul,
+)
+from repro.errors import MappingError
+
+WIDTH = 16
+
+permutations = st.permutations(list(range(WIDTH)))
+addresses = st.integers(min_value=0, max_value=(1 << WIDTH) - 1)
+
+
+class TestConstruction:
+    def test_identity(self):
+        op = BitOperator.identity(8)
+        assert op.is_identity()
+        assert op.is_permutation()
+        assert op.apply(0b1011_0101) == 0b1011_0101
+        assert op.num_ops == 1  # one shift/mask pass moves every bit
+
+    def test_rejects_non_square(self):
+        with pytest.raises(MappingError):
+            BitOperator(np.ones((2, 3), dtype=np.uint8))
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(MappingError):
+            BitOperator.identity(0)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(MappingError):
+            BitOperator(np.eye(65, dtype=np.uint8))
+
+    def test_from_permutation_rejects_duplicates(self):
+        with pytest.raises(MappingError):
+            BitOperator.from_permutation([0, 0, 1])
+
+    def test_from_xor_terms_bounds_checked(self):
+        with pytest.raises(MappingError):
+            BitOperator.from_xor_terms(4, {5: [0]})
+        with pytest.raises(MappingError):
+            BitOperator.from_xor_terms(4, {0: [7]})
+
+    def test_swap_two_bits(self):
+        source = list(range(8))
+        source[0], source[7] = source[7], source[0]
+        op = BitOperator.from_permutation(source)
+        assert op.apply(0b0000_0001) == 0b1000_0000
+        assert op.apply(0b1000_0000) == 0b0000_0001
+
+    def test_xor_fold(self):
+        # out bit 0 = in bit 0 XOR in bit 3
+        op = BitOperator.from_xor_terms(4, {0: [3]})
+        assert op.apply(0b1000) == 0b1001
+        assert op.apply(0b1001) == 0b1000
+        assert op.apply(0b0001) == 0b0001
+
+
+class TestAlgebra:
+    def test_compose_matches_sequential_apply(self):
+        rng = np.random.default_rng(3)
+        outer = BitOperator.from_permutation(rng.permutation(WIDTH))
+        inner = BitOperator.from_xor_terms(WIDTH, {1: [9], 7: [2, 11]})
+        fused = outer.compose(inner)
+        values = rng.integers(0, 1 << WIDTH, 256, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            fused.apply(values), outer.apply(inner.apply(values))
+        )
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(MappingError):
+            BitOperator.identity(8).compose(BitOperator.identity(9))
+
+    def test_invert_round_trip(self):
+        rng = np.random.default_rng(5)
+        op = BitOperator.from_permutation(rng.permutation(WIDTH))
+        assert op.invert().compose(op).is_identity()
+        assert op.compose(op.invert()).is_identity()
+
+    def test_singular_rejected(self):
+        matrix = np.zeros((4, 4), dtype=np.uint8)
+        matrix[0, 0] = 1  # rank 1
+        op = BitOperator(matrix)
+        assert not op.is_bijective()
+        with pytest.raises(MappingError):
+            op.invert()
+
+    def test_permutation_source_round_trip(self):
+        rng = np.random.default_rng(11)
+        source = rng.permutation(WIDTH)
+        op = BitOperator.from_permutation(source)
+        np.testing.assert_array_equal(op.permutation_source(), source)
+
+    def test_permutation_source_rejects_linear(self):
+        op = BitOperator.from_xor_terms(8, {0: [3]})
+        with pytest.raises(MappingError):
+            op.permutation_source()
+
+    def test_gf2_matmul_shape_check(self):
+        with pytest.raises(MappingError):
+            gf2_matmul(np.eye(3, dtype=np.uint8), np.eye(4, dtype=np.uint8))
+
+    def test_gf2_inverse_matches_matmul(self):
+        rng = np.random.default_rng(17)
+        op = BitOperator.from_xor_terms(
+            WIDTH, {0: [5, 9], 3: [12], 10: [1, 2, 4]}
+        )
+        inverse = gf2_inverse(op.matrix)
+        np.testing.assert_array_equal(
+            gf2_matmul(inverse, op.matrix), np.eye(WIDTH, dtype=np.uint8)
+        )
+
+
+class TestProjection:
+    def test_field_of_mapped_address(self):
+        rng = np.random.default_rng(7)
+        op = BitOperator.from_permutation(rng.permutation(WIDTH))
+        shift, width = 4, 5
+        projection = op.project(shift, width)
+        values = rng.integers(0, 1 << WIDTH, 128, dtype=np.uint64)
+        mapped = op.apply(values)
+        expected = (mapped >> np.uint64(shift)) & np.uint64((1 << width) - 1)
+        np.testing.assert_array_equal(projection.apply(values), expected)
+
+    def test_projection_bounds(self):
+        op = BitOperator.identity(8)
+        with pytest.raises(MappingError):
+            op.project(5, 4)
+        with pytest.raises(MappingError):
+            op.project(0, 0)
+
+    def test_rectangular_matrix(self):
+        projection = BitProjection(np.eye(8, dtype=np.uint8)[2:5])
+        assert projection.out_width == 3
+        assert projection.in_width == 8
+        assert projection.apply(0b0001_1100) == 0b111
+
+    def test_rejects_1d(self):
+        with pytest.raises(MappingError):
+            BitProjection(np.ones(4, dtype=np.uint8))
+
+
+class TestScalarAndEquality:
+    def test_scalar_returns_int(self):
+        op = BitOperator.identity(8)
+        result = op.apply(5)
+        assert isinstance(result, int)
+        assert result == 5
+
+    def test_scalar_matches_vector(self):
+        rng = np.random.default_rng(23)
+        op = BitOperator.from_xor_terms(WIDTH, {2: [8, 14], 9: [0]})
+        values = rng.integers(0, 1 << WIDTH, 64, dtype=np.uint64)
+        vector = op.apply(values)
+        scalars = [op.apply(int(v)) for v in values]
+        np.testing.assert_array_equal(vector, scalars)
+
+    def test_equality_and_hash(self):
+        a = BitOperator.from_permutation([1, 0, 2])
+        b = BitOperator.from_permutation([1, 0, 2])
+        c = BitOperator.identity(3)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        # operator vs same-matrix projection: shapes match, contents rule
+        assert a == BitProjection(a.matrix)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(source=permutations, value=addresses)
+    def test_permutation_operator_permutes_bits(self, source, value):
+        op = BitOperator.from_permutation(source)
+        expected = 0
+        for out_bit, in_bit in enumerate(source):
+            expected |= ((value >> in_bit) & 1) << out_bit
+        assert op.apply(value) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(source=permutations)
+    def test_permutation_operator_bijective(self, source):
+        op = BitOperator.from_permutation(source)
+        assert op.is_permutation()
+        assert op.is_bijective()
+        assert op.invert().compose(op).is_identity()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        folds=st.dictionaries(
+            st.integers(0, WIDTH - 1),
+            st.lists(st.integers(0, WIDTH - 1), max_size=3),
+            max_size=4,
+        ),
+        value=addresses,
+    )
+    def test_compose_associative_on_values(self, folds, value):
+        fold = BitOperator.from_xor_terms(WIDTH, folds)
+        rotate = BitOperator.from_permutation(
+            [(i + 1) % WIDTH for i in range(WIDTH)]
+        )
+        assert rotate.compose(fold).apply(value) == rotate.apply(
+            fold.apply(value)
+        )
