@@ -20,6 +20,13 @@ from repro.api import (
     strided_workload,
 )
 from repro.faults import FaultPlan, FaultSpec
+from repro.ras import (
+    CampaignResult,
+    DeviceFaultPlan,
+    DeviceFaultSpec,
+    RASReport,
+)
+from repro.ras import run_campaign as run_ras_campaign
 from repro.system import (
     ExperimentRunner,
     Machine,
@@ -36,10 +43,15 @@ from repro.system import (
 __version__ = "1.2.0"
 
 __all__ = [
+    "CampaignResult",
+    "DeviceFaultPlan",
+    "DeviceFaultSpec",
     "ExperimentRunner",
     "FaultPlan",
     "FaultSpec",
     "Machine",
+    "RASReport",
+    "run_ras_campaign",
     "MachineResult",
     "RetryPolicy",
     "Session",

@@ -17,7 +17,12 @@ without writing any code:
   ``BENCH_translation.json`` (``--min-speedup`` gates CI);
 * ``verify-cache`` — checksum + decode every stage-cache entry,
   quarantining corrupt ones (``--gc`` sweeps tmp debris, and
-  ``--purge-quarantine`` empties the quarantine).
+  ``--purge-quarantine`` empties the quarantine);
+* ``ras``     — seeded device-fault campaign: inject modeled hardware
+  faults (stuck rows, dead banks/channels, CMT/AMU upsets), detect
+  them, repair by software-defined remapping, and verify zero silent
+  corruption against a never-faulted twin machine (``--out`` writes
+  the RASReport JSON for CI artifacts).
 """
 
 from __future__ import annotations
@@ -260,6 +265,33 @@ def cmd_verify_cache(args) -> int:
     return 1 if bad else 0
 
 
+def cmd_ras(args) -> int:
+    """Run a seeded device-fault RAS campaign; optionally write JSON."""
+    import json
+
+    from repro.ras.campaign import ALL_KINDS, run_campaign
+
+    kinds = tuple(args.kinds.split(",")) if args.kinds else ALL_KINDS
+    result = run_campaign(
+        seed=args.seed, kinds=kinds, quick=not args.full
+    )
+    payload = result.to_dict()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        if args.out:
+            print(f"report written to {args.out}")
+    if not result.ok:
+        for problem in result.problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -336,6 +368,28 @@ def main(argv: list[str] | None = None) -> int:
     verify.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    ras = sub.add_parser(
+        "ras", help="seeded device-fault inject/detect/repair campaign"
+    )
+    ras_scope = ras.add_mutually_exclusive_group()
+    ras_scope.add_argument(
+        "--quick", action="store_true", help="small device, short run (default)"
+    )
+    ras_scope.add_argument(
+        "--full", action="store_true", help="longer campaign, more traffic"
+    )
+    ras.add_argument("--seed", type=int, default=0)
+    ras.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated fault kinds (default: row,bank,channel,cmt,amu)",
+    )
+    ras.add_argument(
+        "--out", default=None, help="write the RASReport as JSON here"
+    )
+    ras.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
     args = parser.parse_args(argv)
     handlers = {
         "demo": cmd_demo,
@@ -345,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
         "suite": cmd_suite,
         "bench": cmd_bench,
         "verify-cache": cmd_verify_cache,
+        "ras": cmd_ras,
     }
     return handlers[args.command](args)
 

@@ -30,6 +30,13 @@ from repro.core import ChunkGeometry, SDAMController
 from repro.faults import FaultPlan
 from repro.hbm import HBMConfig, WindowModel, hbm2_config
 from repro.ml import AutoencoderConfig
+from repro.ras import (
+    CampaignResult,
+    DeviceFaultPlan,
+    DeviceFaultSpec,
+    RASReport,
+)
+from repro.ras import run_campaign as run_ras_campaign
 from repro.system import (
     ExperimentRunner,
     Machine,
@@ -52,9 +59,14 @@ from repro.workloads import (
 )
 
 __all__ = [
+    "CampaignResult",
+    "DeviceFaultPlan",
+    "DeviceFaultSpec",
     "FaultPlan",
+    "RASReport",
     "RetryPolicy",
     "Session",
+    "run_ras_campaign",
     "default_cache_dir",
     "evaluation_workloads",
     "strided_workload",
@@ -251,6 +263,28 @@ class Session:
         if quick:
             self.machine_kwargs.setdefault("dl_config", QUICK_DL_CONFIG)
         return self.sweep(workloads, systems=standard_systems())
+
+    def ras_campaign(self, seed: int = 0, kinds=None, *, quick: bool = True):
+        """Seeded device-fault campaign: inject, detect, repair, verify.
+
+        Builds a faulty machine and a clean twin (honouring any ``hbm``
+        / ``geometry`` overrides this session was created with), drives
+        both with identical traffic while injecting one fault per
+        requested kind, and checks that every fault is repaired by
+        software-defined remapping — or explicitly reported as graceful
+        degradation — with zero silent corruption.  Returns a
+        :class:`~repro.ras.campaign.CampaignResult`.
+        """
+        from repro.ras.campaign import ALL_KINDS, run_campaign
+
+        overrides = {}
+        if "hbm" in self.machine_kwargs:
+            overrides["config"] = self.machine_kwargs["hbm"]
+        if "geometry" in self.machine_kwargs:
+            overrides["geometry"] = self.machine_kwargs["geometry"]
+        return run_campaign(
+            seed=seed, kinds=kinds or ALL_KINDS, quick=quick, **overrides
+        )
 
 
 def evaluation_workloads(*, quick: bool = True) -> list[Workload]:

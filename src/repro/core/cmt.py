@@ -61,7 +61,9 @@ class ChunkMappingTable:
                 f"CMT mapping table full ({self.max_mappings} concurrent mappings)"
             )
         index = len(self._configs)
-        self._configs.append(perm)
+        # Store a private copy: the caller (and a shadow table interning
+        # the same array) must not alias the SRAM contents.
+        self._configs.append(perm.copy())
         self._intern[key] = index
         self.driver_writes += 1
         return index
@@ -100,6 +102,77 @@ class ChunkMappingTable:
     def reset_chunk(self, chunk_no: int) -> None:
         """Return a chunk to the identity mapping (chunk freed)."""
         self.set_chunk(chunk_no, 0)
+
+    # -- RAS: shadow compare, rollback and fault hooks ---------------------
+    def diff(self, shadow: "ChunkMappingTable") -> dict:
+        """Where this table's SRAM disagrees with a shadow copy.
+
+        Returns ``{"entries": [chunk_no, ...], "configs": [index, ...]}``
+        — the first-level entries and second-level configurations that
+        differ.  Both tables must have the same shape; the shadow is
+        expected to have seen the same driver writes.
+        """
+        if (
+            shadow.num_chunks != self.num_chunks
+            or shadow.live_mappings != self.live_mappings
+        ):
+            raise CMTError("shadow CMT shape does not match")
+        entries = np.nonzero(self._chunk_table != shadow._chunk_table)[0]
+        configs = [
+            index
+            for index in range(len(self._configs))
+            if not np.array_equal(self._configs[index], shadow._configs[index])
+        ]
+        return {"entries": [int(c) for c in entries], "configs": configs}
+
+    def restore_from(self, shadow: "ChunkMappingTable") -> int:
+        """Roll corrupted SRAM back to a shadow copy's contents.
+
+        Returns the number of repaired words (entries + configs); each
+        counts as one driver write.  The intern map is rebuilt, since
+        corruption may have invalidated its keys.
+        """
+        delta = self.diff(shadow)
+        repaired = len(delta["entries"]) + len(delta["configs"])
+        self._chunk_table = shadow._chunk_table.copy()
+        self._configs = [config.copy() for config in shadow._configs]
+        self._intern = {
+            tuple(config.tolist()): index
+            for index, config in enumerate(self._configs)
+        }
+        self.driver_writes += repaired
+        return repaired
+
+    def flip_entry_bit(self, chunk_no: int, bit: int) -> None:
+        """Fault-injection hook: flip one bit of a first-level entry.
+
+        Models an SRAM upset — no driver write is counted and the
+        intern map is untouched.  The resulting index may be valid-but-
+        wrong (silent rebinding) or out of range (caught by audits).
+        """
+        if not 0 <= chunk_no < self.num_chunks:
+            raise CMTError(f"chunk {chunk_no} outside table")
+        if not 0 <= bit < 16:
+            raise CMTError(f"entry bit {bit} outside storage width")
+        self._chunk_table[chunk_no] ^= np.uint16(1 << bit)
+
+    def flip_config_bit(self, mapping_index: int, lane: int, bit: int) -> None:
+        """Fault-injection hook: flip one bit of a second-level config.
+
+        ``lane`` selects one column selector of the stored permutation.
+        The corrupted value may stop being a permutation (caught by the
+        window-permutation audit) or alias another one.  The intern map
+        deliberately goes stale — hardware has no intern map; a
+        subsequent :meth:`restore_from` rebuilds it.
+        """
+        if not 0 <= mapping_index < len(self._configs):
+            raise CMTError(f"unknown mapping index {mapping_index}")
+        perm = self._configs[mapping_index]
+        if not 0 <= lane < perm.size:
+            raise CMTError(f"config lane {lane} outside window")
+        if not 0 <= bit < 16:
+            raise CMTError(f"config bit {bit} outside selector width")
+        perm[lane] ^= 1 << bit
 
     # -- storage accounting (Section 5.3) ----------------------------------
     @property

@@ -99,7 +99,12 @@ class SDAMController:
     #: mappings x 2^bits x 4 B) and the per-mapping group loop wins.
     LUT_MAX_WINDOW_BITS = 16
 
-    def __init__(self, geometry: ChunkGeometry, max_mappings: int = 256):
+    def __init__(
+        self,
+        geometry: ChunkGeometry,
+        max_mappings: int = 256,
+        shadow: bool = True,
+    ):
         self.geometry = geometry
         self.amu = AddressMappingUnit(geometry.window_bits)
         self.cmt = ChunkMappingTable(
@@ -107,13 +112,31 @@ class SDAMController:
             window_bits=geometry.window_bits,
             max_mappings=max_mappings,
         )
+        # Software's defensive copy of the CMT SRAM: every driver write
+        # is mirrored here, never fault-injection hooks, so a RAS scrub
+        # can diff the two and roll corruption back (Section 4's
+        # correctness rule made self-checking).  Cheap — one extra
+        # uint16 per chunk plus the interned configs.
+        self.shadow_cmt: ChunkMappingTable | None = (
+            ChunkMappingTable(
+                num_chunks=geometry.num_chunks,
+                window_bits=geometry.window_bits,
+                max_mappings=max_mappings,
+            )
+            if shadow
+            else None
+        )
         # Full-width operators per mapping index.  CMT configurations are
         # immutable once interned (set_chunk rebinds chunks, never edits
-        # a config), so entries never go stale.
+        # a config) unless fault injection corrupts them — which must
+        # call :meth:`invalidate_caches`.
         self._operators: dict[int, BitOperator] = {}
         # Crossbar truth tables, one row per interned mapping; rows are
         # appended as mappings arrive and never change afterwards.
         self._window_luts: np.ndarray | None = None
+        # Fault-injection hook: mapping index -> the (valid but wrong)
+        # window permutation the misprogrammed crossbar actually applies.
+        self._misprogrammed: dict[int, np.ndarray] = {}
 
     # -- software-facing control interface ---------------------------------
     def register_mapping(self, mapping) -> int:
@@ -134,15 +157,22 @@ class SDAMController:
                 )
         else:
             window_perm = np.asarray(mapping, dtype=np.int64)
-        return self.cmt.intern_mapping(window_perm)
+        index = self.cmt.intern_mapping(window_perm)
+        if self.shadow_cmt is not None:
+            self.shadow_cmt.intern_mapping(window_perm)
+        return index
 
     def assign_chunk(self, chunk_no: int, mapping_id: int) -> None:
         """Bind a chunk to an interned mapping (a CMT driver write)."""
         self.cmt.set_chunk(chunk_no, mapping_id)
+        if self.shadow_cmt is not None:
+            self.shadow_cmt.set_chunk(chunk_no, mapping_id)
 
     def release_chunk(self, chunk_no: int) -> None:
         """Return a freed chunk to the identity mapping."""
         self.cmt.reset_chunk(chunk_no)
+        if self.shadow_cmt is not None:
+            self.shadow_cmt.reset_chunk(chunk_no)
 
     def full_mapping(self, mapping_id: int) -> PermutationMapping:
         """The full-width permutation a mapping id realises."""
@@ -150,12 +180,59 @@ class SDAMController:
         return self.amu.full_mapping(window_perm, self.geometry)
 
     def operator_of(self, mapping_id: int) -> BitOperator:
-        """The full-width GF(2) operator a mapping id realises (cached)."""
+        """The full-width GF(2) operator a mapping id realises (cached).
+
+        A misprogrammed crossbar (see :meth:`misprogram_crossbar`)
+        substitutes its wrong-but-valid permutation here — the datapath
+        faithfully applies what the broken hardware would.
+        """
         operator = self._operators.get(mapping_id)
         if operator is None:
-            operator = self.full_mapping(mapping_id).as_operator()
+            wrong = self._misprogrammed.get(mapping_id)
+            if wrong is not None:
+                full = self.amu.full_mapping(wrong, self.geometry)
+            else:
+                full = self.full_mapping(mapping_id)
+            operator = full.as_operator()
             self._operators[mapping_id] = operator
         return operator
+
+    # -- RAS hooks -----------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop derived translation state (operators, crossbar LUTs).
+
+        Required after anything mutates CMT contents outside the driver
+        interface — fault injection or a shadow rollback — since both
+        caches assume interned configurations are immutable.
+        """
+        self._operators.clear()
+        self._window_luts = None
+
+    def misprogram_crossbar(self, mapping_id: int, wrong_perm) -> None:
+        """Fault-injection hook: the AMU applies the wrong permutation.
+
+        The CMT SRAM stays correct (a shadow compare sees nothing), but
+        translations through ``mapping_id`` use ``wrong_perm`` — a
+        *valid* window permutation, so every structural audit passes
+        and only a translation spot check against the shadow-derived
+        expectation can detect it.
+        """
+        perm = self.amu.validate(wrong_perm)
+        if not 0 <= mapping_id < self.cmt.live_mappings:
+            raise MappingError(f"unknown mapping index {mapping_id}")
+        self._misprogrammed[mapping_id] = perm
+        self.invalidate_caches()
+
+    def reprogram_crossbar(self) -> int:
+        """Repair hook: rewrite crossbar state from the CMT configs.
+
+        Clears any misprogramming and rebuilds derived caches on
+        demand.  Returns the number of entries that were wrong.
+        """
+        wrong = len(self._misprogrammed)
+        self._misprogrammed.clear()
+        self.invalidate_caches()
+        return wrong
 
     def window_lut(self) -> np.ndarray | None:
         """Crossbar truth tables: ``lut[index, window] = shuffled window``.
@@ -179,7 +256,10 @@ class SDAMController:
                 luts[:start] = self._window_luts
             values = np.arange(1 << window_bits, dtype=np.uint64)
             for index in range(start, live):
-                operator = self.amu.window_operator(self.cmt.config_of(index))
+                config = self._misprogrammed.get(index)
+                if config is None:
+                    config = self.cmt.config_of(index)
+                operator = self.amu.window_operator(config)
                 luts[index] = operator.apply(values).astype(np.uint32)
             self._window_luts = luts
         return self._window_luts

@@ -6,6 +6,14 @@ sampled across the device — plus an audit of the chunk-number
 preservation rule and the AMU/CMT configuration consistency.  Useful
 both in tests and as a runtime debugging aid when composing custom
 mappings.
+
+Both entry points accept ``strict=True``, under which the first failed
+check raises a structured :class:`~repro.errors.MappingIntegrityError`
+instead of accumulating into the report.  The error's ``code`` field
+classifies the failure — ``"cmt-config"``/``"cmt-binding"`` point at
+corrupt CMT state, ``"translation"`` at the datapath, ``"bijectivity"``
+at a bad user mapping — which is how the RAS scrubber tells an SRAM
+upset apart from a mis-composed mapping.
 """
 
 from __future__ import annotations
@@ -17,28 +25,75 @@ import numpy as np
 from repro.core.chunks import ChunkGeometry
 from repro.core.mapping import LinearMapping, PermutationMapping
 from repro.core.sdam import SDAMController
-from repro.errors import MappingError
+from repro.errors import CMTError, MappingError, MappingIntegrityError
 
-__all__ = ["VerificationReport", "verify_mapping", "audit_controller"]
+__all__ = [
+    "VerificationFailure",
+    "VerificationReport",
+    "audit_controller",
+    "verify_mapping",
+]
+
+
+@dataclass(frozen=True)
+class VerificationFailure:
+    """One failed check, with enough context to act on it."""
+
+    message: str
+    code: str = ""
+    chunk_no: int | None = None
+    mapping_index: int | None = None
+
+    def as_error(self) -> MappingIntegrityError:
+        """The failure as a raisable structured error."""
+        return MappingIntegrityError(
+            self.message,
+            code=self.code,
+            chunk_no=self.chunk_no,
+            mapping_index=self.mapping_index,
+        )
 
 
 @dataclass
 class VerificationReport:
-    """Outcome of a correctness audit."""
+    """Outcome of a correctness audit.
+
+    With ``strict=True`` the first failing check raises its
+    :class:`~repro.errors.MappingIntegrityError` immediately.
+    """
 
     checks_run: int = 0
     failures: list[str] = field(default_factory=list)
+    records: list[VerificationFailure] = field(default_factory=list)
+    strict: bool = False
 
     @property
     def ok(self) -> bool:
         """True when every check passed."""
         return not self.failures
 
-    def check(self, passed: bool, message: str) -> None:
-        """Record one check; ``message`` is kept on failure."""
+    def check(
+        self,
+        passed: bool,
+        message: str,
+        code: str = "",
+        chunk_no: int | None = None,
+        mapping_index: int | None = None,
+    ) -> None:
+        """Record one check; ``message`` (plus context) is kept on failure."""
         self.checks_run += 1
-        if not passed:
-            self.failures.append(message)
+        if passed:
+            return
+        record = VerificationFailure(
+            message=message,
+            code=code,
+            chunk_no=chunk_no,
+            mapping_index=mapping_index,
+        )
+        self.failures.append(message)
+        self.records.append(record)
+        if self.strict:
+            raise record.as_error()
 
     def raise_if_failed(self) -> None:
         """Raise :class:`MappingError` if any check failed."""
@@ -55,14 +110,17 @@ class VerificationReport:
 def verify_mapping(
     mapping: PermutationMapping | LinearMapping,
     exhaustive_bits: int = 16,
+    strict: bool = False,
 ) -> VerificationReport:
     """Check a single mapping is a bijection.
 
     Exhaustive over the low ``exhaustive_bits`` of the space (with the
     remaining bits zero), plus an inverse round-trip over random
-    samples of the full width.
+    samples of the full width.  ``strict=True`` raises a
+    ``code="bijectivity"`` :class:`MappingIntegrityError` on the first
+    failure.
     """
-    report = VerificationReport()
+    report = VerificationReport(strict=strict)
     width = mapping.width
     span = 1 << min(exhaustive_bits, width)
     space = np.arange(span, dtype=np.uint64)
@@ -71,6 +129,7 @@ def verify_mapping(
         np.unique(mapped).size == span,
         f"mapping aliases values within the low {min(exhaustive_bits, width)}"
         " bits",
+        code="bijectivity",
     )
     inverse = mapping.inverse()
     rng = np.random.default_rng(0)
@@ -79,6 +138,7 @@ def verify_mapping(
     report.check(
         bool(np.array_equal(roundtrip, sample)),
         "inverse(apply(x)) != x on random samples",
+        code="bijectivity",
     )
     return report
 
@@ -88,16 +148,22 @@ def audit_controller(
     sample_chunks: int = 8,
     lines_per_chunk: int = 2048,
     seed: int = 0,
+    strict: bool = False,
 ) -> VerificationReport:
     """Audit a live SDAM controller against the Section 4 rules.
 
-    * every interned mapping is an invertible window permutation;
-    * chunk numbers pass through translation unchanged;
-    * translation is injective within each sampled chunk;
-    * the two-level CMT is internally consistent (every bound chunk
-      points at an interned mapping).
+    * every interned mapping is an invertible window permutation
+      (``code="cmt-config"`` on failure);
+    * every sampled chunk points at an interned mapping
+      (``code="cmt-binding"``);
+    * chunk numbers pass through translation unchanged and translation
+      is injective within each sampled chunk (``code="translation"``).
+
+    With ``strict=True`` the first failure raises, so a runtime
+    scrubber can dispatch on the error's ``code``/``chunk_no``/
+    ``mapping_index`` instead of parsing messages.
     """
-    report = VerificationReport()
+    report = VerificationReport(strict=strict)
     geometry: ChunkGeometry = controller.geometry
     cmt = controller.cmt
 
@@ -106,16 +172,25 @@ def audit_controller(
         report.check(
             sorted(perm.tolist()) == list(range(geometry.window_bits)),
             f"mapping {index} is not a window permutation",
+            code="cmt-config",
+            mapping_index=index,
         )
         try:
             full = controller.full_mapping(index)
         except MappingError as error:
-            report.check(False, f"mapping {index} rejected by AMU: {error}")
+            report.check(
+                False,
+                f"mapping {index} rejected by AMU: {error}",
+                code="cmt-config",
+                mapping_index=index,
+            )
             continue
         low, high = geometry.window_slice()
         report.check(
             full.restricted_window(low, high),
             f"mapping {index} leaks outside the chunk window",
+            code="cmt-config",
+            mapping_index=index,
         )
 
     rng = np.random.default_rng(seed)
@@ -124,10 +199,16 @@ def audit_controller(
     )
     for chunk_no in np.unique(chunk_numbers):
         index = cmt.mapping_index_of(int(chunk_no))
+        bound = 0 <= index < cmt.live_mappings
         report.check(
-            0 <= index < cmt.live_mappings,
+            bound,
             f"chunk {chunk_no} bound to unknown mapping {index}",
+            code="cmt-binding",
+            chunk_no=int(chunk_no),
+            mapping_index=int(index),
         )
+        if not bound:
+            continue
         base = geometry.chunk_base(int(chunk_no))
         offsets = rng.choice(
             geometry.lines_per_chunk,
@@ -137,9 +218,13 @@ def audit_controller(
         pa = np.uint64(base) + offsets * np.uint64(geometry.line_bytes)
         try:
             ha = controller.translate(pa)
-        except MappingError as error:
+        except (MappingError, CMTError) as error:
             report.check(
-                False, f"chunk {chunk_no}: translation failed: {error}"
+                False,
+                f"chunk {chunk_no}: translation failed: {error}",
+                code="translation",
+                chunk_no=int(chunk_no),
+                mapping_index=int(index),
             )
             continue
         report.check(
@@ -149,9 +234,15 @@ def audit_controller(
                 )
             ),
             f"chunk {chunk_no}: chunk number not preserved",
+            code="translation",
+            chunk_no=int(chunk_no),
+            mapping_index=int(index),
         )
         report.check(
             np.unique(ha).size == pa.size,
             f"chunk {chunk_no}: translation aliases addresses",
+            code="translation",
+            chunk_no=int(chunk_no),
+            mapping_index=int(index),
         )
     return report

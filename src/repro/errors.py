@@ -17,6 +17,29 @@ class MappingError(ReproError):
     """An address mapping is malformed (not a permutation, wrong width...)."""
 
 
+class MappingIntegrityError(MappingError):
+    """A strict-mode verification check failed on live translation state.
+
+    Carries enough context for a runtime scrubber to act on: ``code``
+    distinguishes corrupt CMT state (``"cmt-binding"``, ``"cmt-config"``)
+    from a bad user mapping (``"bijectivity"``) or a broken datapath
+    (``"translation"``); ``chunk_no``/``mapping_index`` locate the
+    failure when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "",
+        chunk_no: int | None = None,
+        mapping_index: int | None = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.chunk_no = chunk_no
+        self.mapping_index = mapping_index
+
+
 class CMTError(ReproError):
     """Chunk-mapping-table misuse: unknown chunk, table overflow, etc."""
 
@@ -69,3 +92,11 @@ class WorkerCrashError(ReproError):
 
 class RetryExhaustedError(ReproError):
     """A transient failure persisted through every allowed attempt."""
+
+
+class RASError(ReproError):
+    """The RAS subsystem was misused or could not complete a repair."""
+
+
+class DeviceFaultError(RASError):
+    """A device fault specification is malformed (bad site, bad target)."""

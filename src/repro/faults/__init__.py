@@ -1,16 +1,26 @@
 """Deterministic fault injection for resilience testing.
 
-The engine's failure paths — corrupt cache entries, crashing workers,
-stalled cells, broken process pools — are exercised through
-:class:`FaultPlan`: a picklable, seedable description of what to break
-and where.  See :mod:`repro.faults.sites` for the injection points and
-:mod:`repro.faults.plan` for the firing semantics.
+Two injectors share the site namespace of :mod:`repro.faults.sites`:
+
+* the experiment engine's failure paths — corrupt cache entries,
+  crashing workers, stalled cells, broken process pools — exercised
+  through :class:`FaultPlan` (see :mod:`repro.faults.plan`);
+* modeled-hardware failures — stuck rows, dead banks, lost channels,
+  CMT bit flips, AMU misprogramming — exercised through the
+  ``device.*`` family and :class:`repro.ras.DeviceFaultPlan`.
 """
 
 from repro.faults.plan import ENV_VAR, FAULT_KINDS, FaultPlan, FaultSpec
-from repro.faults.sites import KNOWN_SITES, matches_known_site
+from repro.faults.sites import (
+    DEVICE_SITES,
+    ENGINE_SITES,
+    KNOWN_SITES,
+    matches_known_site,
+)
 
 __all__ = [
+    "DEVICE_SITES",
+    "ENGINE_SITES",
     "ENV_VAR",
     "FAULT_KINDS",
     "FaultPlan",

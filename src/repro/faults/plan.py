@@ -33,7 +33,7 @@ from pathlib import Path
 
 from repro.core.keys import stable_hash
 from repro.errors import ConfigError, WorkerCrashError
-from repro.faults.sites import matches_known_site
+from repro.faults.sites import ENGINE_SITES, matches_known_site
 
 __all__ = ["ENV_VAR", "FAULT_KINDS", "FaultPlan", "FaultSpec"]
 
@@ -75,9 +75,16 @@ class FaultSpec:
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{FAULT_KINDS}"
             )
-        if not matches_known_site(self.site):
+        if not matches_known_site(self.site, family="engine"):
+            hint = (
+                "; device.* sites are injected through "
+                "repro.ras.DeviceFaultPlan, not the engine FaultPlan"
+                if matches_known_site(self.site, family="device")
+                else ""
+            )
             raise ConfigError(
-                f"fault site pattern {self.site!r} matches no known site"
+                f"fault site pattern {self.site!r} matches no engine fault "
+                f"site (known engine sites: {', '.join(ENGINE_SITES)}){hint}"
             )
         if self.times < 1:
             raise ConfigError("a fault spec must allow at least one firing")

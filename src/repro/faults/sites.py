@@ -1,8 +1,10 @@
-"""Named fault-injection sites of the experiment engine.
+"""Named fault-injection sites.
 
-A *fault site* is a stable string naming one place where a
-:class:`~repro.faults.plan.FaultPlan` may act.  Sites come in two
-families, distinguished by the token the engine passes alongside:
+A *fault site* is a stable string naming one place where fault machinery
+may act.  Sites come in two *families* with different injectors:
+
+**Engine sites** — checked by the experiment engine, injected through a
+:class:`~repro.faults.plan.FaultPlan`:
 
 ``store.load.<kind>``
     Checked by :class:`~repro.system.tracefile.StageStore` just before
@@ -18,8 +20,29 @@ families, distinguished by the token the engine passes alongside:
     ``stall`` (sleep past the cell timeout) and ``break-pool``
     (``os._exit`` the worker so the whole pool breaks).
 
+**Device sites** — modeled-hardware failures, injected through a
+:class:`~repro.ras.faults.DeviceFaultPlan` at access-count trigger
+points:
+
+``device.hbm.row`` / ``device.hbm.bank`` / ``device.hbm.channel``
+    A stuck DRAM row, a dead bank, a lost channel.  Accesses landing on
+    the failed region return ECC errors; writes are dropped.
+
+``device.cmt.flip``
+    An SRAM bit upset in the CMT: either a first-level chunk entry
+    (chunk silently rebinds to another — or an unknown — mapping) or a
+    second-level configuration lane (the stored permutation corrupts).
+
+``device.amu.misprogram``
+    The AMU crossbar applies a *valid but wrong* permutation for one
+    mapping index while the CMT SRAM stays correct — the failure a
+    shadow compare cannot see and only translation spot checks catch.
+
 Site patterns in a :class:`FaultSpec` are ``fnmatch`` globs, so
-``store.load.*`` or ``worker.*`` cover a family.
+``store.load.*`` or ``device.hbm.*`` cover a family.  Each injector
+validates patterns against *its* family, so a spec that could never
+fire (e.g. a ``device.*`` pattern handed to the engine's ``FaultPlan``)
+fails fast at construction instead of silently never firing.
 """
 
 from __future__ import annotations
@@ -27,6 +50,13 @@ from __future__ import annotations
 from fnmatch import fnmatch
 
 __all__ = [
+    "DEVICE_AMU_MISPROGRAM",
+    "DEVICE_CMT_FLIP",
+    "DEVICE_HBM_BANK",
+    "DEVICE_HBM_CHANNEL",
+    "DEVICE_HBM_ROW",
+    "DEVICE_SITES",
+    "ENGINE_SITES",
     "KNOWN_SITES",
     "STORE_LOAD_PROFILE",
     "STORE_LOAD_RESULT",
@@ -48,7 +78,14 @@ WORKER_PROFILE = "worker.profile"
 WORKER_SELECTION = "worker.selection"
 WORKER_EVALUATE = "worker.evaluate"
 
-KNOWN_SITES = (
+DEVICE_HBM_ROW = "device.hbm.row"
+DEVICE_HBM_BANK = "device.hbm.bank"
+DEVICE_HBM_CHANNEL = "device.hbm.channel"
+DEVICE_CMT_FLIP = "device.cmt.flip"
+DEVICE_AMU_MISPROGRAM = "device.amu.misprogram"
+
+#: Sites the experiment engine's FaultPlan can act on.
+ENGINE_SITES = (
     STORE_LOAD_TRACE,
     STORE_LOAD_PROFILE,
     STORE_LOAD_SELECTION,
@@ -59,7 +96,28 @@ KNOWN_SITES = (
     WORKER_EVALUATE,
 )
 
+#: Modeled-hardware sites the RAS DeviceFaultPlan can act on.
+DEVICE_SITES = (
+    DEVICE_HBM_ROW,
+    DEVICE_HBM_BANK,
+    DEVICE_HBM_CHANNEL,
+    DEVICE_CMT_FLIP,
+    DEVICE_AMU_MISPROGRAM,
+)
 
-def matches_known_site(pattern: str) -> bool:
-    """Whether a site pattern can ever match a real injection point."""
-    return any(fnmatch(site, pattern) for site in KNOWN_SITES)
+KNOWN_SITES = ENGINE_SITES + DEVICE_SITES
+
+_FAMILIES = {
+    None: KNOWN_SITES,
+    "engine": ENGINE_SITES,
+    "device": DEVICE_SITES,
+}
+
+
+def matches_known_site(pattern: str, family: str | None = None) -> bool:
+    """Whether a site pattern can ever match a real injection point.
+
+    ``family`` restricts the check to one injector's sites
+    (``"engine"`` or ``"device"``); the default spans both families.
+    """
+    return any(fnmatch(site, pattern) for site in _FAMILIES[family])

@@ -16,11 +16,12 @@ from repro.hbm.decode import (
 )
 from repro.hbm.device import HBMDevice
 from repro.hbm.fastmodel import WindowModel, row_hit_mask
-from repro.hbm.stats import RunStats
+from repro.hbm.stats import DeviceHealth, RunStats
 
 __all__ = [
     "DecodedTrace",
     "DecodePlan",
+    "DeviceHealth",
     "HBMConfig",
     "HBMDevice",
     "MemoryBackend",

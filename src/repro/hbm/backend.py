@@ -40,8 +40,14 @@ class MemoryBackend(Protocol):
         """Run a hardware-address trace (decodes, then simulates)."""
         ...  # pragma: no cover - protocol
 
-    def simulate_decoded(self, decoded: DecodedTrace) -> RunStats:
-        """Run an already-decoded request stream."""
+    def simulate_decoded(
+        self, decoded: DecodedTrace, forced_miss=None
+    ) -> RunStats:
+        """Run an already-decoded request stream.
+
+        ``forced_miss`` (optional boolean mask) marks ECC-retry
+        requests that must be charged the full row-miss cost.
+        """
         ...  # pragma: no cover - protocol
 
 

@@ -26,6 +26,9 @@ class ChannelRequest:
     bank: int
     row: int
     arrival_ns: float
+    # RAS: an ECC retry on degraded hardware — the row buffer cannot be
+    # trusted, so the access pays the full miss cost unconditionally.
+    forced_miss: bool = False
 
 
 class Channel:
@@ -71,7 +74,9 @@ class Channel:
             candidate = self.queue[position]
             if candidate.arrival_ns > now_ns:
                 break
-            if self.banks[candidate.bank].would_hit(candidate.row):
+            if not candidate.forced_miss and self.banks[
+                candidate.bank
+            ].would_hit(candidate.row):
                 del self.queue[position]
                 return candidate
         return self.queue.popleft()
@@ -89,6 +94,8 @@ class Channel:
         # bank is free — it overlaps with other banks' bursts on the bus.
         bank_start = max(request.arrival_ns, bank.ready_ns)
         cost, hit = bank.probe(request.row, self.t_burst_ns, self.t_row_miss_ns)
+        if request.forced_miss:
+            cost, hit = self.t_row_miss_ns, False
         done = max(bank_start + cost, self.bus_free_ns + self.t_burst_ns)
         bank.commit(request.row, done, hit)
         self.bus_free_ns = done

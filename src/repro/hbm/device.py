@@ -54,14 +54,22 @@ class HBMDevice:
         ha = np.asarray(ha, dtype=np.uint64)
         return self.simulate_decoded(decode_trace(ha, self.config))
 
-    def simulate_decoded(self, decoded: DecodedTrace) -> RunStats:
-        """Run an already-decoded request stream (the fused datapath)."""
+    def simulate_decoded(
+        self, decoded: DecodedTrace, forced_miss: np.ndarray | None = None
+    ) -> RunStats:
+        """Run an already-decoded request stream (the fused datapath).
+
+        ``forced_miss`` (optional boolean mask, one flag per access)
+        marks ECC-retry requests that must pay the full miss cost.
+        """
         n = len(decoded)
         channels = self._new_channels()
         num_channels = self.config.num_channels
         if n == 0:
             zeros = np.zeros(num_channels)
             return RunStats(0, 0, 0.0, 0, 0, num_channels, zeros, zeros)
+        if forced_miss is not None:
+            forced_miss = np.asarray(forced_miss, dtype=bool)
 
         completions: list[float] = []
         makespan = 0.0
@@ -104,6 +112,9 @@ class HBMDevice:
                     bank=int(decoded.bank[index]),
                     row=int(decoded.row[index]),
                     arrival_ns=admit_time,
+                    forced_miss=bool(forced_miss[index])
+                    if forced_miss is not None
+                    else False,
                 )
             )
             issued += 1

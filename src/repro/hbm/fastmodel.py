@@ -91,14 +91,24 @@ class WindowModel:
         ha = np.asarray(ha, dtype=np.uint64)
         return self.simulate_decoded(decode_trace(ha, self.config))
 
-    def simulate_decoded(self, decoded: DecodedTrace) -> RunStats:
-        """Run an already-decoded request stream (the fused datapath)."""
+    def simulate_decoded(
+        self, decoded: DecodedTrace, forced_miss: np.ndarray | None = None
+    ) -> RunStats:
+        """Run an already-decoded request stream (the fused datapath).
+
+        ``forced_miss`` (optional boolean mask, one flag per access)
+        marks requests whose row buffer cannot be trusted — ECC retries
+        on degraded hardware — and charges them the full miss cost
+        regardless of locality.
+        """
         n = len(decoded)
         channels = self.config.num_channels
         if n == 0:
             zeros = np.zeros(channels)
             return RunStats(0, 0, 0.0, 0, 0, channels, zeros, zeros)
         hits = row_hit_mask(decoded, self.reorder_window)
+        if forced_miss is not None:
+            hits = hits & ~np.asarray(forced_miss, dtype=bool)
         t_burst = self.config.effective_t_burst_ns
         cost = np.where(hits, t_burst, self.config.effective_t_row_miss_ns)
         banks_per_channel = self.config.banks_per_channel

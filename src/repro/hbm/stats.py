@@ -1,4 +1,10 @@
-"""Simulation statistics: bandwidth, CLP utilisation, row-hit rates."""
+"""Simulation statistics: bandwidth, CLP utilisation, row-hit rates.
+
+Also home of :class:`DeviceHealth`, the RAS-side error bookkeeping.  It
+is deliberately a separate class from :class:`RunStats` — RunStats is
+frozen, cached and fingerprinted by the experiment engine, so growing
+it would invalidate every on-disk cache entry.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RunStats"]
+__all__ = ["DeviceHealth", "RunStats"]
 
 
 @dataclass(frozen=True)
@@ -109,4 +115,107 @@ class RunStats:
             per_channel_busy_ns=np.asarray(
                 data["per_channel_busy_ns"], dtype=np.float64
             ),
+        )
+
+
+class DeviceHealth:
+    """Per-channel/bank error topology, classified into fault suspects.
+
+    ECC flags arrive per access as a boolean mask aligned with a decoded
+    trace; :meth:`record` folds them into per-``(channel, bank)`` error
+    counts and error-row sets.  :meth:`suspects` then reads the topology
+    back out: errors confined to one row of one bank look like a stuck
+    row, errors across many rows of one bank look like a dead bank, and
+    errors across most banks of a channel look like a lost channel.
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        banks_per_channel: int,
+        row_threshold: int = 2,
+        bank_row_threshold: int = 4,
+        channel_bank_fraction: float = 0.5,
+    ):
+        self.num_channels = num_channels
+        self.banks_per_channel = banks_per_channel
+        self.row_threshold = row_threshold
+        self.bank_row_threshold = bank_row_threshold
+        self.channel_bank_fraction = channel_bank_fraction
+        self.error_counts = np.zeros(
+            (num_channels, banks_per_channel), dtype=np.int64
+        )
+        self.error_rows: dict[tuple[int, int], set[int]] = {}
+        self.accesses = 0
+
+    def record(self, decoded, error_mask) -> int:
+        """Fold one access batch's ECC flags into the topology.
+
+        ``decoded`` is a :class:`~repro.hbm.decode.DecodedTrace` (or any
+        object with ``channel``/``bank``/``row`` arrays); ``error_mask``
+        is a boolean array of the same length.  Returns the number of
+        flagged accesses.
+        """
+        error_mask = np.asarray(error_mask, dtype=bool)
+        self.accesses += int(error_mask.size)
+        if not error_mask.any():
+            return 0
+        channels = np.asarray(decoded.channel)[error_mask]
+        banks = np.asarray(decoded.bank)[error_mask]
+        rows = np.asarray(decoded.row)[error_mask]
+        np.add.at(self.error_counts, (channels, banks), 1)
+        for c, b, r in zip(channels.tolist(), banks.tolist(), rows.tolist()):
+            self.error_rows.setdefault((int(c), int(b)), set()).add(int(r))
+        return int(error_mask.sum())
+
+    @property
+    def total_errors(self) -> int:
+        """All ECC-flagged accesses recorded so far."""
+        return int(self.error_counts.sum())
+
+    def suspects(self) -> list[dict]:
+        """Classify the recorded topology into fault suspects.
+
+        Returns a list of ``{"kind": ..., "channel": ...}`` dicts,
+        most-severe first (channel, then bank, then row).  A channel
+        suspect subsumes its banks' evidence; a bank suspect subsumes
+        its rows'.
+        """
+        found: list[dict] = []
+        channel_bad = set()
+        for c in range(self.num_channels):
+            bad_banks = int(np.count_nonzero(self.error_counts[c]))
+            if bad_banks >= max(
+                2, int(self.banks_per_channel * self.channel_bank_fraction)
+            ):
+                found.append({"kind": "channel", "channel": c})
+                channel_bad.add(c)
+        bank_bad = set()
+        for (c, b), rows in sorted(self.error_rows.items()):
+            if c in channel_bad:
+                continue
+            if len(rows) >= self.bank_row_threshold:
+                found.append({"kind": "bank", "channel": c, "bank": b})
+                bank_bad.add((c, b))
+        for (c, b), rows in sorted(self.error_rows.items()):
+            if c in channel_bad or (c, b) in bank_bad:
+                continue
+            for row in sorted(rows):
+                if self.error_counts[c, b] >= self.row_threshold:
+                    found.append(
+                        {"kind": "row", "channel": c, "bank": b, "row": row}
+                    )
+        return found
+
+    def reset(self) -> None:
+        """Clear all recorded evidence (after a repair round)."""
+        self.error_counts[:] = 0
+        self.error_rows.clear()
+        self.accesses = 0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.total_errors} ECC errors over {self.accesses} accesses, "
+            f"{len(self.error_rows)} (channel,bank) sites affected"
         )

@@ -85,6 +85,29 @@ class Kernel:
         """Mapping ids registered via add_addr_map."""
         return sorted(self._registered_mappings)
 
+    def hardware_index_of(self, mapping_id: int) -> int:
+        """CMT index currently backing a software mapping id."""
+        return self._registered_mappings[mapping_id]
+
+    def rebind_mapping(self, mapping_id: int, hardware_index: int) -> None:
+        """Point a software mapping id at a different CMT index.
+
+        The RAS repair path uses this after composing a replacement
+        permutation: existing VMAs keep their mapping id, but chunks
+        acquired from now on are programmed with the healed mapping.
+        """
+        if self.sdam is None:
+            raise ProfilingError("mapping rebind requires SDAM")
+        if mapping_id not in self._registered_mappings:
+            raise ProfilingError(
+                f"mapping id {mapping_id} was never registered"
+            )
+        if not 0 <= hardware_index < self.sdam.cmt.live_mappings:
+            raise ProfilingError(
+                f"hardware index {hardware_index} is not interned"
+            )
+        self._registered_mappings[mapping_id] = hardware_index
+
     def full_mapping(self, mapping_id: int) -> PermutationMapping | None:
         """Full-width permutation behind a mapping id (None on baseline)."""
         if self.sdam is None:
@@ -112,6 +135,44 @@ class Kernel:
                 f"mapping id {mapping_id} was never registered via add_addr_map"
             )
         return self.physical.alloc_frame(effective)
+
+    @property
+    def spaces(self) -> list[AddressSpace]:
+        """All live process address spaces."""
+        return list(self._spaces.values())
+
+    # -- RAS: page relocation ------------------------------------------------
+    def relocate_frame(self, frame_pa: int) -> int | None:
+        """Move a live frame off its page and retire the old page.
+
+        Allocates a replacement frame in the same mapping group,
+        switches the owning PTE, then atomically frees-and-retires the
+        old page (never returning it to the allocator).  Returns the
+        new frame's PA, or None if the frame was allocated but mapped
+        by no process (it is then just discarded).  The caller copies
+        the data — the kernel model holds no contents.
+        """
+        chunk_no = self.physical._frame_owner.get(frame_pa)
+        if chunk_no is None:
+            raise ProfilingError(f"frame {frame_pa:#x} is not allocated")
+        chunk = self.physical.chunk(chunk_no)
+        mapping_id = chunk.mapping_id if chunk is not None else 0
+        owner = None
+        vpn = None
+        for space in self._spaces.values():
+            vpn = space.vpn_of_frame(frame_pa)
+            if vpn is not None:
+                owner = space
+                break
+        if owner is None:
+            self.physical.discard_frame(frame_pa, retire=True)
+            return None
+        new_pa = self.physical.alloc_frame(
+            mapping_id if mapping_id is not None else 0
+        )
+        owner.remap(vpn, new_pa)
+        self.physical.discard_frame(frame_pa, retire=True)
+        return new_pa
 
     # -- syscalls ---------------------------------------------------------------
     def sys_mmap(

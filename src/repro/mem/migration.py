@@ -67,10 +67,14 @@ class ChunkMigrator:
 
     # -- live chunks: data must move -----------------------------------------
     def _allocated_lines(self, chunk) -> np.ndarray:
-        """PAs of every allocated cache line in the chunk."""
+        """PAs of every live (data-bearing) cache line in the chunk.
+
+        Retired pages are pinned in the buddy allocator but carry no
+        data, so they are excluded from the copy.
+        """
         geometry = self.kernel.geometry
         lines_per_page = geometry.page_bytes // geometry.line_bytes
-        pages = sorted(chunk.frames.allocated_blocks())
+        pages = chunk.live_page_offsets()
         if not pages:
             return np.zeros(0, dtype=np.uint64)
         offsets = []
@@ -84,7 +88,12 @@ class ChunkMigrator:
             geometry.line_bytes
         )
 
-    def migrate_chunk(self, chunk_no: int, new_mapping_id: int) -> MigrationReport:
+    def migrate_chunk(
+        self,
+        chunk_no: int,
+        new_mapping_id: int,
+        on_copy=None,
+    ) -> MigrationReport:
         """Switch a live chunk to a new mapping, copying its data.
 
         Every allocated line is read through the old mapping and
@@ -92,6 +101,12 @@ class ChunkMigrator:
         which the CMT entry flips.  The returned report carries the
         simulated copy cost so callers can weigh it against expected
         future bandwidth gains.
+
+        ``on_copy(pa_lines, read_has, write_has)``, when given, performs
+        the actual data movement (the RAS layer moves modeled device
+        contents through it).  If it raises, the CMT entry is rolled
+        back to the old mapping before the exception propagates, so a
+        failed mid-copy migration never leaves the chunk half-switched.
         """
         sdam = self.kernel.sdam
         physical = self.kernel.physical
@@ -105,9 +120,15 @@ class ChunkMigrator:
         if pa_lines.size:
             reads = sdam.translate(pa_lines)  # HAs under the old mapping
             sdam.assign_chunk(chunk_no, new_mapping_id)
-            writes = sdam.translate(pa_lines)  # HAs under the new mapping
-            copy_trace = np.stack([reads, writes], axis=1).reshape(-1)
-            cost = self._model.simulate(copy_trace).makespan_ns
+            try:
+                writes = sdam.translate(pa_lines)  # HAs under the new mapping
+                if on_copy is not None:
+                    on_copy(pa_lines, reads, writes)
+                copy_trace = np.stack([reads, writes], axis=1).reshape(-1)
+                cost = self._model.simulate(copy_trace).makespan_ns
+            except Exception:
+                sdam.assign_chunk(chunk_no, old_index)
+                raise
         else:
             sdam.assign_chunk(chunk_no, new_mapping_id)
             cost = 0.0

@@ -36,6 +36,7 @@ class Chunk:
     mapping_id: int | None = None
     rotation_pages: int = 0
     frames: BuddyAllocator = field(init=False)
+    retired_pages: set[int] = field(init=False, default_factory=set)
     _cursor: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
@@ -83,6 +84,42 @@ class Chunk:
     def is_empty(self) -> bool:
         """True when nothing is allocated."""
         return self.frames.is_empty
+
+    # -- RAS: page retirement ---------------------------------------------
+    def retire_page(self, page_offset: int) -> None:
+        """Permanently take one page out of service.
+
+        The page must be free (relocate live data first); it is pinned
+        in the buddy allocator so neither the rotation cursor nor buddy
+        coalescing can ever hand it out again.
+        """
+        if not 0 <= page_offset < self.geometry.pages_per_chunk:
+            raise AllocationError(
+                f"page {page_offset} outside chunk {self.number}"
+            )
+        if page_offset in self.retired_pages:
+            return
+        if not self.frames.is_free(page_offset):
+            raise AllocationError(
+                f"page {page_offset} of chunk {self.number} is live; "
+                "relocate before retiring"
+            )
+        self.frames.alloc_at(page_offset)
+        self.retired_pages.add(page_offset)
+
+    def live_page_offsets(self) -> list[int]:
+        """Offsets of data-bearing pages (allocated and not retired)."""
+        live: list[int] = []
+        for offset, order in self.frames.allocated_blocks().items():
+            for page in range(offset, offset + (1 << order)):
+                if page not in self.retired_pages:
+                    live.append(page)
+        return sorted(live)
+
+    @property
+    def is_drained(self) -> bool:
+        """True when only retired pages remain allocated."""
+        return not self.live_page_offsets()
 
 
 class ChunkGroup:
@@ -138,10 +175,16 @@ class PhysicalMemory:
         self._chunks: dict[int, Chunk] = {}
         self._groups: dict[int, ChunkGroup] = {}
         self._frame_owner: dict[int, int] = {}  # frame PA -> chunk number
+        self._retired_chunks: set[int] = set()
         self.on_chunk_assigned = on_chunk_assigned
         self.on_chunk_released = on_chunk_released
+        # RAS: invoked on every freshly acquired chunk, before any frame
+        # is handed out — lets a degraded machine retire unusable pages
+        # in chunks that were still on the free list at repair time.
+        self.new_chunk_hook: Callable[[Chunk], None] | None = None
         self.chunks_acquired = 0
         self.chunks_released = 0
+        self.pages_retired = 0
 
     # -- chunk-level operations ------------------------------------------
     @property
@@ -173,6 +216,8 @@ class PhysicalMemory:
         self.chunks_acquired += 1
         if self.on_chunk_assigned is not None:
             self.on_chunk_assigned(number, mapping_id)
+        if self.new_chunk_hook is not None:
+            self.new_chunk_hook(chunk)
         return chunk
 
     def release_chunk(self, chunk: Chunk) -> None:
@@ -214,6 +259,96 @@ class PhysicalMemory:
         chunk.free_frame(pa)
         if chunk.is_empty:
             self.release_chunk(chunk)
+
+    # -- RAS: retirement -------------------------------------------------------
+    def discard_frame(self, pa: int, retire: bool = True) -> None:
+        """Drop a frame and (by default) retire its page in place.
+
+        Unlike :meth:`free_frame` the chunk is never auto-released to
+        the free list — the page transitions allocated -> retired
+        atomically, which is what page relocation off a faulty row
+        needs.
+        """
+        try:
+            chunk_no = self._frame_owner.pop(pa)
+        except KeyError:
+            raise AllocationError(f"frame {pa:#x} was not allocated")
+        chunk = self._chunks[chunk_no]
+        chunk.free_frame(pa)
+        if retire:
+            offset = (pa - chunk.base_pa) >> self.geometry.page_bits
+            chunk.retire_page(offset)
+            self.pages_retired += 1
+        elif chunk.is_empty:
+            self.release_chunk(chunk)
+
+    def retire_pages(self, chunk_no: int, page_offsets) -> int:
+        """Retire free pages of a live chunk; returns how many were new.
+
+        Live (data-bearing) pages raise — the caller relocates them
+        first — and already-retired pages are skipped.
+        """
+        chunk = self._chunks.get(chunk_no)
+        if chunk is None:
+            raise AllocationError(f"chunk {chunk_no} is not live")
+        newly = 0
+        for offset in page_offsets:
+            if int(offset) in chunk.retired_pages:
+                continue
+            chunk.retire_page(int(offset))
+            newly += 1
+        self.pages_retired += newly
+        return newly
+
+    def retire_chunk(self, chunk_no: int) -> None:
+        """Permanently remove a whole chunk from service.
+
+        Free-list chunks are unlinked from the free list; live chunks
+        must be drained of data first (retired pages may remain), and
+        are detached from their group without returning to the free
+        list.
+        """
+        if chunk_no in self._retired_chunks:
+            return
+        try:
+            self._free_chunks.remove(chunk_no)
+        except ValueError:
+            chunk = self._chunks.get(chunk_no)
+            if chunk is None:
+                raise AllocationError(f"chunk {chunk_no} does not exist")
+            if not chunk.is_drained:
+                raise AllocationError(
+                    f"chunk {chunk_no} still holds live data; "
+                    "relocate before retiring"
+                )
+            for pa in [
+                pa
+                for pa, owner in self._frame_owner.items()
+                if owner == chunk_no
+            ]:
+                del self._frame_owner[pa]
+            if chunk.mapping_id is not None:
+                self.group(chunk.mapping_id).remove(chunk)
+            del self._chunks[chunk_no]
+            self.pages_retired += self.geometry.pages_per_chunk - len(
+                chunk.retired_pages
+            )
+        else:
+            self.pages_retired += self.geometry.pages_per_chunk
+        self._retired_chunks.add(chunk_no)
+
+    @property
+    def retired_chunks(self) -> set[int]:
+        """Chunk numbers permanently out of service."""
+        return set(self._retired_chunks)
+
+    def chunk(self, chunk_no: int) -> Chunk | None:
+        """The live chunk object for a chunk number, if any."""
+        return self._chunks.get(chunk_no)
+
+    def live_chunks(self) -> list[Chunk]:
+        """All chunks currently assigned to a group."""
+        return [self._chunks[number] for number in sorted(self._chunks)]
 
     # -- accounting -----------------------------------------------------------
     def frames_in_use(self) -> int:

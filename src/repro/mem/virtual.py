@@ -143,6 +143,30 @@ class AddressSpace:
         offset = va & np.uint64(self.page_bytes - 1)
         return frames[inverse] | offset
 
+    # -- RAS: page relocation ------------------------------------------------
+    def vpn_of_frame(self, frame_pa: int) -> int | None:
+        """Reverse lookup: the virtual page mapped to a frame, if any.
+
+        A linear scan — the model has no rmap; fine for the RAS path,
+        which relocates a handful of pages per repair.
+        """
+        for vpn, frame in self._page_table.items():
+            if frame == frame_pa:
+                return vpn
+        return None
+
+    def remap(self, vpn: int, new_frame: int) -> int:
+        """Point a resident virtual page at a different frame.
+
+        Returns the old frame.  Used by page relocation: the kernel
+        copies the contents, then atomically switches the PTE.
+        """
+        if vpn not in self._page_table:
+            raise AddressError(f"vpn {vpn:#x} is not resident")
+        old = self._page_table[vpn]
+        self._page_table[vpn] = new_frame
+        return old
+
     # -- introspection -------------------------------------------------------
     def resident_pages(self) -> int:
         """Pages with frames mapped in."""

@@ -1,0 +1,249 @@
+"""Device fault specifications: what breaks, where, and when.
+
+The ``device.*`` site family of :mod:`repro.faults.sites` names the
+modeled-hardware failure modes; a :class:`DeviceFaultSpec` pins one of
+them to concrete coordinates (channel/bank/row, CMT word, mapping
+index) and an access-count trigger point.  Unlike the engine's
+:class:`~repro.faults.plan.FaultPlan` — which arms probabilistic hooks
+inside the experiment engine — a :class:`DeviceFaultPlan` is consumed
+by :class:`~repro.ras.campaign.RASMachine`, which injects each spec
+exactly once when the machine's cumulative access counter passes the
+trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.chunks import ChunkGeometry
+from repro.errors import DeviceFaultError
+from repro.faults.sites import (
+    DEVICE_AMU_MISPROGRAM,
+    DEVICE_CMT_FLIP,
+    DEVICE_HBM_BANK,
+    DEVICE_HBM_CHANNEL,
+    DEVICE_HBM_ROW,
+    DEVICE_SITES,
+    matches_known_site,
+)
+from repro.hbm.config import HBMConfig
+
+__all__ = ["DeviceFaultPlan", "DeviceFaultSpec"]
+
+#: Sites describing physical (channel/bank/row) damage.
+PHYSICAL_SITES = (DEVICE_HBM_ROW, DEVICE_HBM_BANK, DEVICE_HBM_CHANNEL)
+
+
+@dataclass(frozen=True)
+class DeviceFaultSpec:
+    """One modeled-hardware fault, armed at an access-count trigger.
+
+    Coordinate fields are site-specific: ``channel``/``bank``/``row``
+    for the ``device.hbm.*`` family, ``chunk_no`` or ``mapping_index``
+    (+ ``lane``/``bit``) for ``device.cmt.flip``, ``mapping_index`` for
+    ``device.amu.misprogram``.
+    """
+
+    site: str
+    trigger_access: int = 0
+    channel: int | None = None
+    bank: int | None = None
+    row: int | None = None
+    chunk_no: int | None = None
+    mapping_index: int | None = None
+    lane: int = 0
+    bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.site not in DEVICE_SITES:
+            hint = ""
+            if matches_known_site(self.site, family="engine"):
+                hint = (
+                    "; engine sites are injected through "
+                    "repro.faults.FaultPlan, not a DeviceFaultPlan"
+                )
+            raise DeviceFaultError(
+                f"unknown device fault site {self.site!r}; known sites: "
+                f"{', '.join(DEVICE_SITES)}{hint}"
+            )
+        if self.trigger_access < 0:
+            raise DeviceFaultError("trigger_access must be >= 0")
+        needs = {
+            DEVICE_HBM_ROW: ("channel", "bank", "row"),
+            DEVICE_HBM_BANK: ("channel", "bank"),
+            DEVICE_HBM_CHANNEL: ("channel",),
+            DEVICE_AMU_MISPROGRAM: ("mapping_index",),
+        }.get(self.site, ())
+        for name in needs:
+            if getattr(self, name) is None:
+                raise DeviceFaultError(
+                    f"{self.site} fault needs a {name!r} coordinate"
+                )
+        if self.site == DEVICE_CMT_FLIP:
+            if self.chunk_no is None and self.mapping_index is None:
+                raise DeviceFaultError(
+                    f"{DEVICE_CMT_FLIP} needs chunk_no (first-level entry) "
+                    "or mapping_index (second-level config)"
+                )
+
+    @property
+    def kind(self) -> str:
+        """Short classifier: row, bank, channel, cmt, amu."""
+        return self.site.rsplit(".", 1)[-1] if self.site.startswith(
+            "device.hbm."
+        ) else ("cmt" if self.site == DEVICE_CMT_FLIP else "amu")
+
+    @property
+    def is_physical(self) -> bool:
+        """True for channel/bank/row damage (vs control-state upsets)."""
+        return self.site in PHYSICAL_SITES
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        where = {
+            DEVICE_HBM_ROW: f"ch{self.channel} bank{self.bank} row{self.row}",
+            DEVICE_HBM_BANK: f"ch{self.channel} bank{self.bank}",
+            DEVICE_HBM_CHANNEL: f"ch{self.channel}",
+            DEVICE_CMT_FLIP: (
+                f"entry[{self.chunk_no}] bit {self.bit}"
+                if self.chunk_no is not None
+                else f"config[{self.mapping_index}] lane {self.lane} "
+                f"bit {self.bit}"
+            ),
+            DEVICE_AMU_MISPROGRAM: f"mapping {self.mapping_index}",
+        }[self.site]
+        return f"{self.site} @ {where} after {self.trigger_access} accesses"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; :meth:`from_dict` round-trips it."""
+        return {
+            "site": self.site,
+            "trigger_access": self.trigger_access,
+            "channel": self.channel,
+            "bank": self.bank,
+            "row": self.row,
+            "chunk_no": self.chunk_no,
+            "mapping_index": self.mapping_index,
+            "lane": self.lane,
+            "bit": self.bit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceFaultSpec":
+        """Rebuild a spec written by :meth:`to_dict`."""
+        return cls(**data)
+
+
+class DeviceFaultPlan:
+    """An ordered, seeded set of device faults with trigger bookkeeping.
+
+    The plan is pure data plus "has this spec fired yet" tracking; the
+    machine calls :meth:`pop_due` with its cumulative access count and
+    injects whatever comes back.
+    """
+
+    def __init__(self, specs):
+        self.specs: list[DeviceFaultSpec] = list(specs)
+        self._fired: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def pop_due(self, accesses: int) -> list[DeviceFaultSpec]:
+        """Specs whose trigger has passed and that have not fired yet."""
+        due = []
+        for index, spec in enumerate(self.specs):
+            if index in self._fired or spec.trigger_access > accesses:
+                continue
+            self._fired.add(index)
+            due.append(spec)
+        return due
+
+    @property
+    def pending(self) -> int:
+        """Specs that have not fired yet."""
+        return len(self.specs) - len(self._fired)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (fired-state excluded; plans re-arm)."""
+        return {"specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceFaultPlan":
+        """Rebuild a plan written by :meth:`to_dict`."""
+        return cls(DeviceFaultSpec.from_dict(s) for s in data["specs"])
+
+    # -- seeded generation --------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        config: HBMConfig,
+        geometry: ChunkGeometry,
+        kinds=("row", "bank", "channel", "cmt"),
+        first_trigger: int = 2000,
+        spacing: int = 4000,
+        live_mappings: int = 2,
+    ) -> "DeviceFaultPlan":
+        """One concrete fault per requested kind, staggered in time.
+
+        ``kinds`` entries: ``row``, ``bank``, ``channel``, ``cmt``,
+        ``amu``.  Coordinates are drawn from a seeded generator, so the
+        same (seed, config) always yields the same campaign.
+        """
+        rng = np.random.default_rng(seed)
+        specs = []
+        trigger = first_trigger
+        for kind in kinds:
+            channel = int(rng.integers(0, config.num_channels))
+            bank = int(rng.integers(0, config.banks_per_channel))
+            if kind == "row":
+                spec = DeviceFaultSpec(
+                    site=DEVICE_HBM_ROW,
+                    trigger_access=trigger,
+                    channel=channel,
+                    bank=bank,
+                    row=int(rng.integers(0, config.rows_per_bank)),
+                )
+            elif kind == "bank":
+                spec = DeviceFaultSpec(
+                    site=DEVICE_HBM_BANK,
+                    trigger_access=trigger,
+                    channel=channel,
+                    bank=bank,
+                )
+            elif kind == "channel":
+                spec = DeviceFaultSpec(
+                    site=DEVICE_HBM_CHANNEL,
+                    trigger_access=trigger,
+                    channel=channel,
+                )
+            elif kind == "cmt":
+                spec = DeviceFaultSpec(
+                    site=DEVICE_CMT_FLIP,
+                    trigger_access=trigger,
+                    chunk_no=int(rng.integers(0, geometry.num_chunks)),
+                    bit=int(rng.integers(0, 8)),
+                )
+            elif kind == "amu":
+                spec = DeviceFaultSpec(
+                    site=DEVICE_AMU_MISPROGRAM,
+                    trigger_access=trigger,
+                    mapping_index=int(rng.integers(1, max(2, live_mappings))),
+                )
+            else:
+                raise DeviceFaultError(
+                    f"unknown fault kind {kind!r}; "
+                    "known: row, bank, channel, cmt, amu"
+                )
+            specs.append(spec)
+            trigger += spacing
+        return cls(specs)
+
+    def retargeted(self, index: int, **changes) -> "DeviceFaultPlan":
+        """A copy of the plan with one spec's fields replaced."""
+        specs = list(self.specs)
+        specs[index] = replace(specs[index], **changes)
+        return DeviceFaultPlan(specs)

@@ -1,0 +1,97 @@
+"""Sparse modeled device contents, with poison tracking.
+
+The performance models carry no data; RAS campaigns need some, because
+"repaired" must mean *the bytes are still right*.  :class:`DeviceStorage`
+holds line values keyed by hardware address, plus a poison set marking
+lines whose contents were destroyed (written to dead hardware, or
+clobbered by misdirected writes during a control-state corruption
+window).  Poison is sticky until a healthy write lands on the line —
+exactly ECC semantics: reads of a poisoned line flag an error instead
+of silently returning garbage.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DeviceStorage"]
+
+
+class DeviceStorage:
+    """Line-granular sparse storage: ``{ha_line: value}`` + poison set."""
+
+    def __init__(self):
+        self._values: dict[int, int] = {}
+        self.poisoned: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def write(self, ha_line: int, value: int, healthy: bool = True) -> None:
+        """Store one line.  Unhealthy writes destroy instead of storing."""
+        ha_line = int(ha_line)
+        if healthy:
+            self._values[ha_line] = int(value)
+            self.poisoned.discard(ha_line)
+        else:
+            self._values.pop(ha_line, None)
+            self.poisoned.add(ha_line)
+
+    def read(self, ha_line: int) -> tuple[int | None, bool]:
+        """``(value, ecc_error)`` — value is None if never written/lost."""
+        ha_line = int(ha_line)
+        if ha_line in self.poisoned:
+            return None, True
+        return self._values.get(ha_line), False
+
+    def poison(self, ha_line: int) -> None:
+        """Destroy a line in place (a fault struck stored data)."""
+        ha_line = int(ha_line)
+        self._values.pop(ha_line, None)
+        self.poisoned.add(ha_line)
+
+    def move(self, src: int, dst: int) -> bool:
+        """Copy a line ``src -> dst`` (migration); returns True if the
+        moved data is intact.  Poison travels with the data; unwritten
+        sources leave the destination unwritten."""
+        src, dst = int(src), int(dst)
+        if src in self.poisoned:
+            self.poisoned.discard(src)
+            self.poison(dst)
+            return False
+        if src in self._values:
+            self._values[dst] = self._values.pop(src)
+            self.poisoned.discard(dst)
+        return True
+
+    def move_many(self, srcs, dsts) -> int:
+        """Move a batch of lines as one atomic permutation copy.
+
+        Migration rewrites a chunk in place: the destination set can
+        overlap the source set, so a sequential per-line move would
+        clobber not-yet-read sources.  All sources are read (and
+        cleared) first, then all destinations written.  Returns the
+        number of intact lines moved.
+        """
+        srcs = [int(s) for s in srcs]
+        dsts = [int(d) for d in dsts]
+        values = [self._values.get(s) for s in srcs]
+        poisons = [s in self.poisoned for s in srcs]
+        for s in srcs:
+            self._values.pop(s, None)
+            self.poisoned.discard(s)
+        intact = 0
+        for d, value, poisoned in zip(dsts, values, poisons):
+            if poisoned:
+                self.poison(d)
+            elif value is not None:
+                self._values[d] = value
+                self.poisoned.discard(d)
+                intact += 1
+        return intact
+
+    def occupied_lines(self) -> list[int]:
+        """Sorted HAs holding values (deterministic iteration order)."""
+        return sorted(self._values)
+
+    def poisoned_lines(self) -> list[int]:
+        """Sorted HAs marked destroyed."""
+        return sorted(self.poisoned)

@@ -445,3 +445,24 @@ class Machine:
             compute_ns=compute_ns,
             profiling_seconds=profiling_seconds,
         )
+
+    # -- RAS -------------------------------------------------------------------
+    def ras_campaign(self, seed: int | None = None, kinds=None, quick=True):
+        """Run a seeded device-fault RAS campaign on this machine's device.
+
+        Injects one modeled-hardware fault per requested kind (stuck
+        row, dead bank, lost channel, CMT bit flip, AMU misprogramming)
+        into a live software stack built on this machine's HBM
+        configuration, lets the RAS controller detect and repair each,
+        and verifies the surviving contents against a never-faulted
+        twin.  Returns a :class:`~repro.ras.campaign.CampaignResult`.
+        """
+        from repro.ras.campaign import ALL_KINDS, run_campaign
+
+        return run_campaign(
+            seed=self.seed if seed is None else seed,
+            kinds=kinds or ALL_KINDS,
+            quick=quick,
+            config=self.hbm,
+            geometry=self.geometry,
+        )

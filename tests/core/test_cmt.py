@@ -116,3 +116,62 @@ class TestValidation:
     def test_zero_mappings_rejected(self):
         with pytest.raises(CMTError):
             ChunkMappingTable(num_chunks=4, window_bits=15, max_mappings=0)
+
+
+class TestShadowAndFaultHooks:
+    def pair(self):
+        """A live table plus a shadow that saw the same driver writes."""
+        table, shadow = make_table(), make_table()
+        perm = np.roll(np.arange(15), 3)
+        for t in (table, shadow):
+            index = t.intern_mapping(perm)
+            t.set_chunk(5, index)
+        return table, shadow
+
+    def test_diff_clean_tables_empty(self):
+        table, shadow = self.pair()
+        assert table.diff(shadow) == {"entries": [], "configs": []}
+
+    def test_flip_entry_bit_shows_in_diff(self):
+        table, shadow = self.pair()
+        table.flip_entry_bit(5, 0)
+        assert table.diff(shadow) == {"entries": [5], "configs": []}
+
+    def test_flip_config_bit_shows_in_diff(self):
+        table, shadow = self.pair()
+        table.flip_config_bit(1, lane=2, bit=3)
+        assert table.diff(shadow)["configs"] == [1]
+
+    def test_flips_count_no_driver_writes(self):
+        table, shadow = self.pair()
+        before = table.driver_writes
+        table.flip_entry_bit(5, 1)
+        table.flip_config_bit(1, lane=0, bit=0)
+        assert table.driver_writes == before
+
+    def test_restore_from_rolls_back_and_rebuilds_intern(self):
+        table, shadow = self.pair()
+        table.flip_entry_bit(5, 2)
+        table.flip_config_bit(1, lane=4, bit=1)
+        repaired = table.restore_from(shadow)
+        assert repaired == 2
+        assert table.diff(shadow) == {"entries": [], "configs": []}
+        # The intern map works again: re-interning dedups, not appends.
+        perm = np.roll(np.arange(15), 3)
+        assert table.intern_mapping(perm) == 1
+
+    def test_out_of_range_flips_rejected(self):
+        table, _shadow = self.pair()
+        with pytest.raises(CMTError):
+            table.flip_entry_bit(1000, 0)
+        with pytest.raises(CMTError):
+            table.flip_entry_bit(0, 16)
+        with pytest.raises(CMTError):
+            table.flip_config_bit(99, 0, 0)
+        with pytest.raises(CMTError):
+            table.flip_config_bit(1, 99, 0)
+
+    def test_shape_mismatch_rejected(self):
+        table, _ = self.pair()
+        with pytest.raises(CMTError):
+            table.diff(make_table(num_chunks=32))

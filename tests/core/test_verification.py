@@ -11,7 +11,7 @@ from repro.core.verification import (
     audit_controller,
     verify_mapping,
 )
-from repro.errors import MappingError
+from repro.errors import MappingError, MappingIntegrityError
 
 SMALL = ChunkGeometry(total_bytes=64 * MiB)
 
@@ -80,3 +80,52 @@ class TestAuditController:
         )
         report = audit_controller(controller, sample_chunks=32)
         assert not report.ok
+
+
+class TestStrictMode:
+    def corrupted_controller(self):
+        controller = SDAMController(SMALL)
+        mapping_id = controller.register_mapping(
+            np.roll(np.arange(SMALL.window_bits), 4)
+        )
+        controller.assign_chunk(0, mapping_id)
+        controller.cmt._configs[mapping_id] = np.zeros(
+            SMALL.window_bits, dtype=np.int64
+        )
+        return controller
+
+    def test_strict_audit_raises_structured_error(self):
+        controller = self.corrupted_controller()
+        with pytest.raises(MappingIntegrityError) as excinfo:
+            audit_controller(controller, sample_chunks=32, strict=True)
+        error = excinfo.value
+        assert error.code == "cmt-config"
+        assert error.mapping_index == 1
+        assert isinstance(error, MappingError)  # catchable as the base
+
+    def test_strict_audit_passes_healthy_state(self):
+        controller = SDAMController(SMALL)
+        report = audit_controller(controller, strict=True)
+        assert report.ok
+
+    def test_strict_verify_mapping_flags_bijectivity(self):
+        class BrokenMapping:  # aliases everything to zero
+            width = 12
+
+            def apply(self, x):
+                return np.zeros_like(np.asarray(x))
+
+            def inverse(self):
+                return self
+
+        with pytest.raises(MappingIntegrityError) as excinfo:
+            verify_mapping(BrokenMapping(), strict=True)
+        assert excinfo.value.code == "bijectivity"
+
+    def test_failure_records_convert_to_errors(self):
+        report = VerificationReport()
+        report.check(False, "bad word", code="cmt-binding", chunk_no=7)
+        error = report.records[0].as_error()
+        assert isinstance(error, MappingIntegrityError)
+        assert error.code == "cmt-binding"
+        assert error.chunk_no == 7

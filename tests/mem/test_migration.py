@@ -113,6 +113,63 @@ class TestLiveMigration:
         assert np.unique(ha).size == pa.size
 
 
+class TestErrorPaths:
+    def populate(self, kernel, space, malloc, mapping_id=0):
+        va = malloc.malloc(1 * MiB, mapping_id=mapping_id, tag="data")
+        step = SMALL.page_bytes
+        addresses = np.arange(va, va + 1 * MiB, step, dtype=np.uint64)
+        space.translate_trace(addresses)
+        return SMALL.chunk_number(space.translate(va))
+
+    def test_mid_copy_failure_rolls_back_cmt(self):
+        """A failed copy must never leave the chunk half-switched."""
+        kernel, space, malloc, migrator = setup_machine()
+        new_mapping = malloc.add_addr_map(rolled(2))
+        chunk_no = self.populate(kernel, space, malloc)
+        calls = {"n": 0}
+
+        def exploding_copy(_pa, _reads, _writes):
+            calls["n"] += 1
+            raise OSError("device wedged mid-copy")
+
+        with pytest.raises(OSError):
+            migrator.migrate_chunk(chunk_no, new_mapping, on_copy=exploding_copy)
+        assert calls["n"] == 1
+        assert kernel.sdam.cmt.mapping_index_of(chunk_no) == 0
+        assert kernel.physical.mapping_of_chunk(chunk_no) == 0
+        # The chunk still translates one-to-one under the old mapping.
+        base = SMALL.chunk_base(chunk_no)
+        pa = np.uint64(base) + np.arange(
+            0, SMALL.chunk_bytes, 64, dtype=np.uint64
+        )
+        assert np.unique(kernel.sdam.translate(pa)).size == pa.size
+
+    def test_zero_live_lines_is_a_pure_table_write(self):
+        kernel, _space, malloc, migrator = setup_machine()
+        source = malloc.add_addr_map(rolled(1))
+        target = malloc.add_addr_map(rolled(2))
+        migrator.remap_free_capacity(source, chunks=1)
+        chunk = next(iter(kernel.physical.group(source).chunks))
+        copies = []
+        report = migrator.migrate_chunk(
+            chunk.number, target, on_copy=lambda *a: copies.append(a)
+        )
+        assert report.lines_copied == 0
+        assert report.cost_ns == 0.0
+        assert copies == []  # no data, no copy callback
+        assert kernel.sdam.cmt.mapping_index_of(chunk.number) == target
+
+    def test_copy_cost_is_deterministic(self):
+        costs = []
+        for _ in range(2):
+            kernel, space, malloc, migrator = setup_machine()
+            new_mapping = malloc.add_addr_map(rolled(3))
+            chunk_no = self.populate(kernel, space, malloc)
+            report = migrator.migrate_chunk(chunk_no, new_mapping)
+            costs.append((report.lines_copied, report.cost_ns))
+        assert costs[0] == costs[1]
+
+
 class TestPolicy:
     def test_amortisation(self):
         _kernel, _space, malloc, migrator = setup_machine()

@@ -1,0 +1,69 @@
+"""Tests for the modeled device contents and poison semantics."""
+
+from repro.ras.storage import DeviceStorage
+
+
+class TestBasics:
+    def test_write_read_round_trip(self):
+        storage = DeviceStorage()
+        storage.write(0x40, 7)
+        assert storage.read(0x40) == (7, False)
+        assert storage.read(0x80) == (None, False)
+
+    def test_unhealthy_write_destroys(self):
+        storage = DeviceStorage()
+        storage.write(0x40, 7)
+        storage.write(0x40, 9, healthy=False)
+        assert storage.read(0x40) == (None, True)
+
+    def test_poison_sticky_until_healthy_write(self):
+        storage = DeviceStorage()
+        storage.write(0x40, 7)
+        storage.poison(0x40)
+        assert storage.read(0x40) == (None, True)
+        storage.write(0x40, 8)
+        assert storage.read(0x40) == (8, False)
+
+
+class TestMove:
+    def test_move_carries_value_and_poison(self):
+        storage = DeviceStorage()
+        storage.write(0x40, 7)
+        assert storage.move(0x40, 0x80)
+        assert storage.read(0x80) == (7, False)
+        storage.poison(0x80)
+        assert not storage.move(0x80, 0xC0)
+        assert storage.read(0xC0) == (None, True)
+        assert storage.read(0x80) == (None, False)
+
+    def test_move_many_survives_overlapping_sets(self):
+        """An in-place permutation copy: dst set == src set, rotated.
+
+        A sequential per-line move would clobber not-yet-read sources;
+        the batched move must read everything first.
+        """
+        storage = DeviceStorage()
+        srcs = [0x00, 0x40, 0x80, 0xC0]
+        for index, src in enumerate(srcs):
+            storage.write(src, 100 + index)
+        dsts = srcs[1:] + srcs[:1]  # rotate: 0x00 -> 0x40 -> ... -> 0x00
+        assert storage.move_many(srcs, dsts) == 4
+        for index, dst in enumerate(dsts):
+            assert storage.read(dst) == (100 + index, False)
+
+    def test_move_many_propagates_poison(self):
+        storage = DeviceStorage()
+        storage.write(0x00, 1)
+        storage.poison(0x40)
+        intact = storage.move_many([0x00, 0x40], [0x40, 0x00])
+        assert intact == 1
+        assert storage.read(0x40) == (1, False)
+        assert storage.read(0x00) == (None, True)
+
+    def test_occupied_and_poisoned_sorted(self):
+        storage = DeviceStorage()
+        storage.write(0x80, 1)
+        storage.write(0x00, 2)
+        storage.poison(0xC0)
+        assert storage.occupied_lines() == [0x00, 0x80]
+        assert storage.poisoned_lines() == [0xC0]

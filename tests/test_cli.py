@@ -114,3 +114,26 @@ class TestCLI:
         report = json.loads(capsys.readouterr().out)
         assert report["verify"]["result"]["quarantined"] == []
         assert report["gc"] is None
+
+
+class TestRASCommand:
+    def test_ras_quick_campaign(self, capsys, tmp_path):
+        out_path = tmp_path / "ras_report.json"
+        code = main(
+            ["ras", "--quick", "--seed", "7", "--out", str(out_path)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "faults injected" in captured
+        assert "fingerprint match" in captured
+        data = json.loads(out_path.read_text())
+        assert data["ok"] is True
+        assert data["problems"] == []
+        kinds = {d["site"] for d in data["report"]["detections"]}
+        assert len(kinds) >= 4
+
+    def test_ras_kind_subset_json(self, capsys):
+        assert main(["ras", "--seed", "2", "--kinds", "row,cmt", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert len(data["report"]["detections"]) == 2
