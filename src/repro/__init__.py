@@ -13,10 +13,15 @@ The curated convenience surface is re-exported here (and lives in
 """
 
 from repro.api import (
+    AdaptiveCampaignResult,
+    AdaptiveController,
+    MappingSelection,
     Session,
     default_cache_dir,
     evaluation_workloads,
     mixed_stride_workload,
+    run_adaptive_campaign,
+    select_application_mapping,
     strided_workload,
 )
 from repro.faults import FaultPlan, FaultSpec
@@ -40,9 +45,11 @@ from repro.system import (
     system_by_key,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "AdaptiveCampaignResult",
+    "AdaptiveController",
     "CampaignResult",
     "DeviceFaultPlan",
     "DeviceFaultSpec",
@@ -50,7 +57,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "Machine",
+    "MappingSelection",
     "RASReport",
+    "run_adaptive_campaign",
     "run_ras_campaign",
     "MachineResult",
     "RetryPolicy",
@@ -63,6 +72,7 @@ __all__ = [
     "evaluation_workloads",
     "mixed_stride_workload",
     "run_suite",
+    "select_application_mapping",
     "standard_systems",
     "strided_workload",
     "system_by_key",

@@ -14,7 +14,9 @@ without writing any code:
   sweep, ``--json`` for machine-readable output);
 * ``bench``   — translation-datapath microbenchmark: fused
   translate+decode vs the pre-refactor baseline, written to
-  ``BENCH_translation.json`` (``--min-speedup`` gates CI);
+  ``BENCH_translation.json`` (``--min-speedup`` gates CI); with
+  ``--online``, the streaming-BFRV estimator vs windowed batch
+  recompute instead, written to ``BENCH_online.json``;
 * ``verify-cache`` — checksum + decode every stage-cache entry,
   quarantining corrupt ones (``--gc`` sweeps tmp debris, and
   ``--purge-quarantine`` empties the quarantine);
@@ -22,7 +24,12 @@ without writing any code:
   faults (stuck rows, dead banks/channels, CMT/AMU upsets), detect
   them, repair by software-defined remapping, and verify zero silent
   corruption against a never-faulted twin machine (``--out`` writes
-  the RASReport JSON for CI artifacts).
+  the RASReport JSON for CI artifacts);
+* ``adapt``   — seeded online-adaptation campaign: a phase-shifting
+  workload served live while the adaptive controller detects phase
+  changes and migrates mappings, scored against every relevant static
+  mapping (``--min-speedup`` gates CI, ``--out`` writes the campaign
+  JSON).
 """
 
 from __future__ import annotations
@@ -174,22 +181,44 @@ def cmd_suite(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Benchmark the translation datapath; write BENCH_translation.json."""
+    """Benchmark the translation datapath (or, with ``--online``, the
+    streaming estimator); write the JSON report."""
     import json
 
-    from repro.system.bench import run_benchmark, write_report
+    if args.online:
+        from repro.online.bench import (
+            DEFAULT_REPORT_PATH,
+            run_benchmark,
+            write_report,
+        )
+    else:
+        from repro.system.bench import run_benchmark, write_report
 
+        DEFAULT_REPORT_PATH = "BENCH_translation.json"
+
+    accesses = args.accesses
+    if accesses is None:
+        accesses = 262_144 if args.online else 1_000_000
     report = run_benchmark(
-        accesses=args.accesses,
+        accesses=accesses,
         seed=args.seed,
         repeats=args.repeats,
     )
-    path = write_report(report, args.out)
+    path = write_report(report, args.out or DEFAULT_REPORT_PATH)
     summary = report["summary_speedup_geomean"]
     if args.json:
         print(json.dumps(report, indent=2))
+    elif args.online:
+        print(f"online bench: {accesses} accesses -> {path}")
+        for scenario, cell in report["cells"].items():
+            print(
+                f"  {scenario:10s} streaming "
+                f"{cell['streaming_maccesses_per_s']:8.1f} Macc/s "
+                f"({cell['speedup']:.2f}x vs windowed batch recompute)"
+            )
+        print(f"  geomean speedup: streaming {summary['streaming']:.2f}x")
     else:
-        print(f"translation bench: {args.accesses} accesses -> {path}")
+        print(f"translation bench: {accesses} accesses -> {path}")
         for scenario, cell in report["cells"].items():
             fused = cell["translate_decode"]
             print(
@@ -201,15 +230,62 @@ def cmd_bench(args) -> int:
             "  geomean speedups: "
             + ", ".join(f"{k} {v:.2f}x" for k, v in summary.items())
         )
-    if summary["translate_decode"] < args.min_speedup:
+    gate = summary["streaming" if args.online else "translate_decode"]
+    if gate < args.min_speedup:
         print(
-            f"error: translate_decode geomean speedup "
-            f"{summary['translate_decode']:.2f}x below the "
+            f"error: geomean speedup {gate:.2f}x below the "
             f"--min-speedup {args.min_speedup:.2f}x gate",
             file=sys.stderr,
         )
         return 1
     return 0
+
+
+def cmd_adapt(args) -> int:
+    """Run the seeded online-adaptation campaign; optionally write JSON."""
+    import json
+
+    from repro.online.campaign import run_adaptive_campaign
+
+    result = run_adaptive_campaign(
+        seed=args.seed,
+        quick=not args.full,
+        window_accesses=args.window,
+    )
+    payload = result.to_dict()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        for label, ns in sorted(
+            result.static_ns.items(), key=lambda item: item[1]
+        ):
+            marker = " <- best" if label == result.best_static else ""
+            print(f"  static {label}: {ns / 1e3:.1f} us{marker}")
+        print(
+            f"  {result.remaps} remaps, {result.declines} declines, "
+            f"{result.failed_remaps} failed; stationary control: "
+            f"{result.stationary_remaps} remaps"
+        )
+        if args.out:
+            print(f"report written to {args.out}")
+    problems = []
+    if result.stationary_remaps:
+        problems.append(
+            f"stationary trace triggered {result.stationary_remaps} remaps "
+            "(thrash guard violated)"
+        )
+    if result.speedup < args.min_speedup:
+        problems.append(
+            f"speedup {result.speedup:.2f}x below the "
+            f"--min-speedup {args.min_speedup:.2f}x gate"
+        )
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def cmd_verify_cache(args) -> int:
@@ -332,7 +408,16 @@ def main(argv: list[str] | None = None) -> int:
         "bench", help="translation-datapath microbenchmark (fused vs legacy)"
     )
     bench.add_argument(
-        "--accesses", type=int, default=1_000_000, help="trace length"
+        "--online",
+        action="store_true",
+        help="benchmark the streaming-BFRV estimator instead "
+        "(report goes to BENCH_online.json)",
+    )
+    bench.add_argument(
+        "--accesses",
+        type=int,
+        default=None,
+        help="trace length (default 1M; 256Ki with --online)",
     )
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
@@ -340,8 +425,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench.add_argument(
         "--out",
-        default="BENCH_translation.json",
-        help="where to write the JSON report",
+        default=None,
+        help="where to write the JSON report (default "
+        "BENCH_translation.json, or BENCH_online.json with --online)",
     )
     bench.add_argument(
         "--json", action="store_true", help="also print the report as JSON"
@@ -390,6 +476,33 @@ def main(argv: list[str] | None = None) -> int:
     ras.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )
+    adapt = sub.add_parser(
+        "adapt", help="seeded online-adaptation campaign (adaptive vs static)"
+    )
+    adapt_scope = adapt.add_mutually_exclusive_group()
+    adapt_scope.add_argument(
+        "--quick", action="store_true", help="short trace, one chunk (default)"
+    )
+    adapt_scope.add_argument(
+        "--full", action="store_true", help="longer trace, multi-chunk buffer"
+    )
+    adapt.add_argument("--seed", type=int, default=0)
+    adapt.add_argument(
+        "--window", type=int, default=2048, help="accesses per trace window"
+    )
+    adapt.add_argument(
+        "--out", default=None, help="write the campaign result as JSON here"
+    )
+    adapt.add_argument(
+        "--json", action="store_true", help="print the result as JSON"
+    )
+    adapt.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless adaptive beats the best static mapping by "
+        "this factor (CI gate)",
+    )
     args = parser.parse_args(argv)
     handlers = {
         "demo": cmd_demo,
@@ -400,6 +513,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": cmd_bench,
         "verify-cache": cmd_verify_cache,
         "ras": cmd_ras,
+        "adapt": cmd_adapt,
     }
     return handlers[args.command](args)
 

@@ -26,10 +26,20 @@ import os
 import warnings
 from pathlib import Path
 
-from repro.core import ChunkGeometry, SDAMController
+from repro.core import (
+    ChunkGeometry,
+    MappingSelection,
+    SDAMController,
+    select_application_mapping,
+)
 from repro.faults import FaultPlan
 from repro.hbm import HBMConfig, WindowModel, hbm2_config
 from repro.ml import AutoencoderConfig
+from repro.online import (
+    AdaptiveCampaignResult,
+    AdaptiveController,
+    run_adaptive_campaign,
+)
 from repro.ras import (
     CampaignResult,
     DeviceFaultPlan,
@@ -59,14 +69,19 @@ from repro.workloads import (
 )
 
 __all__ = [
+    "AdaptiveCampaignResult",
+    "AdaptiveController",
     "CampaignResult",
     "DeviceFaultPlan",
     "DeviceFaultSpec",
     "FaultPlan",
+    "MappingSelection",
     "RASReport",
     "RetryPolicy",
     "Session",
+    "run_adaptive_campaign",
     "run_ras_campaign",
+    "select_application_mapping",
     "default_cache_dir",
     "evaluation_workloads",
     "strided_workload",
@@ -285,6 +300,25 @@ class Session:
         return run_campaign(
             seed=seed, kinds=kinds or ALL_KINDS, quick=quick, **overrides
         )
+
+    def adaptive_campaign(
+        self, seed: int = 0, *, quick: bool = True, **campaign_kwargs
+    ) -> AdaptiveCampaignResult:
+        """Seeded online-adaptation campaign: adaptive vs best static.
+
+        Runs the phase-shifting workload on an adaptive machine (the
+        :class:`~repro.online.controller.AdaptiveController` migrating
+        mappings live) and under every relevant static mapping,
+        honouring any ``hbm`` / ``geometry`` overrides this session was
+        created with.  Returns an
+        :class:`~repro.online.campaign.AdaptiveCampaignResult`.
+        """
+        overrides = dict(campaign_kwargs)
+        if "hbm" in self.machine_kwargs:
+            overrides.setdefault("config", self.machine_kwargs["hbm"])
+        if "geometry" in self.machine_kwargs:
+            overrides.setdefault("geometry", self.machine_kwargs["geometry"])
+        return run_adaptive_campaign(seed=seed, quick=quick, **overrides)
 
 
 def evaluation_workloads(*, quick: bool = True) -> list[Workload]:

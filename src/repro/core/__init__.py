@@ -22,6 +22,13 @@ from repro.core.mapping import (
     mapping_from_field_sources,
 )
 from repro.core.security import GuardPlan, plan_guard_rows, verify_isolation
+from repro.core.selection import (
+    MappingSelection,
+    mapping_for_stride,
+    select_application_mapping,
+    select_mappings_dl,
+    select_mappings_kmeans,
+)
 from repro.core.sdam import (
     AddressTranslator,
     GlobalMappingTranslator,
@@ -45,6 +52,7 @@ __all__ = [
     "GlobalMappingTranslator",
     "GuardPlan",
     "LinearMapping",
+    "MappingSelection",
     "PermutationMapping",
     "SDAMController",
     "VerificationReport",
@@ -56,10 +64,14 @@ __all__ = [
     "gf2_matmul",
     "hash_mapping",
     "identity_mapping",
+    "mapping_for_stride",
     "mapping_from_field_sources",
     "plan_guard_rows",
     "rank_bits_by_flip_rate",
+    "select_application_mapping",
     "select_global_mapping",
+    "select_mappings_dl",
+    "select_mappings_kmeans",
     "select_window_permutation",
     "verify_isolation",
     "verify_mapping",

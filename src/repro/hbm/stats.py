@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["DeviceHealth", "RunStats"]
+__all__ = ["DeviceHealth", "RemapTraffic", "RunStats"]
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,61 @@ class RunStats:
                 data["per_channel_busy_ns"], dtype=np.float64
             ),
         )
+
+
+@dataclass
+class RemapTraffic:
+    """Accounting for live-remap traffic (the online control plane).
+
+    Like :class:`DeviceHealth`, deliberately separate from the frozen,
+    cache-fingerprinted :class:`RunStats`: these counters grow with the
+    adaptive controller's actions, not with a single simulated trace.
+    ``migration_ns`` is the simulated device time the copies occupied;
+    ``reprogram_ns`` the modeled CMT-write + AMU-crossbar reprogram
+    cost.  Both are the overhead an adaptive campaign charges against
+    its service-time wins.
+    """
+
+    remaps: int = 0
+    failed_remaps: int = 0
+    rollback_migrations: int = 0
+    chunks_migrated: int = 0
+    lines_copied: int = 0
+    bytes_moved: int = 0
+    migration_ns: float = 0.0
+    cmt_writes: int = 0
+    amu_reprograms: int = 0
+    reprogram_ns: float = 0.0
+
+    def record_migration(self, report, line_bytes: int = 64) -> None:
+        """Fold one :class:`~repro.mem.migration.MigrationReport` in."""
+        self.chunks_migrated += 1
+        self.lines_copied += int(report.lines_copied)
+        # Every line is read through the old mapping and written through
+        # the new one: two line transfers per copied line.
+        self.bytes_moved += 2 * int(report.lines_copied) * int(line_bytes)
+        self.migration_ns += float(report.cost_ns)
+
+    @property
+    def overhead_ns(self) -> float:
+        """Total simulated time the remaps cost."""
+        return self.migration_ns + self.reprogram_ns
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form."""
+        return {
+            "remaps": self.remaps,
+            "failed_remaps": self.failed_remaps,
+            "rollback_migrations": self.rollback_migrations,
+            "chunks_migrated": self.chunks_migrated,
+            "lines_copied": self.lines_copied,
+            "bytes_moved": self.bytes_moved,
+            "migration_ns": self.migration_ns,
+            "cmt_writes": self.cmt_writes,
+            "amu_reprograms": self.amu_reprograms,
+            "reprogram_ns": self.reprogram_ns,
+            "overhead_ns": self.overhead_ns,
+        }
 
 
 class DeviceHealth:

@@ -1,0 +1,32 @@
+"""Online adaptive remapping: profile, detect, decide, migrate — live.
+
+The offline pipeline selects mappings once from a profiling run; this
+package closes the loop at runtime.  A streaming estimator
+(:class:`StreamingBFRV`) keeps decayed bit-flip statistics over the
+external trace, a :class:`PhaseDetector` flags when they diverge from
+the vector that justified the current mapping, a :class:`RemapPolicy`
+prices the switch against live-migration cost, and the
+:class:`AdaptiveController` executes approved remaps through the
+existing CMT/AMU/migration machinery.  :func:`run_adaptive_campaign`
+is the seeded adaptive-vs-static experiment behind
+``python -m repro adapt``.
+"""
+
+from repro.online.campaign import AdaptiveCampaignResult, run_adaptive_campaign
+from repro.online.controller import AdaptiveController
+from repro.online.phase import PhaseDetector, PhaseEvent, bfrv_distance
+from repro.online.policy import RemapDecision, RemapPolicy
+from repro.online.stream import StreamingBFRV, VariableActivity
+
+__all__ = [
+    "AdaptiveCampaignResult",
+    "AdaptiveController",
+    "PhaseDetector",
+    "PhaseEvent",
+    "RemapDecision",
+    "RemapPolicy",
+    "StreamingBFRV",
+    "VariableActivity",
+    "bfrv_distance",
+    "run_adaptive_campaign",
+]

@@ -1,0 +1,162 @@
+"""Streaming-estimator microbenchmark (``python -m repro bench --online``).
+
+The online controller needs per-window bit-flip statistics.  The naive
+way is to re-run the batch estimator over the whole trace seen so far
+at every window boundary — O(n) work per window, O(n^2) per run.  The
+:class:`~repro.online.stream.StreamingBFRV` folds each window into
+decayed integer accumulators instead — O(window) per window — and with
+``decay=1.0`` is bit-exact with the batch estimator (asserted here
+before anything is timed, same contract as the translation bench).
+
+The report (``BENCH_online.json``) records, per trace shape, the
+windowed batch-recompute time against the streaming fold, so future
+PRs inherit a perf trajectory for the online path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.hbm.config import HBMConfig, hbm2_config
+from repro.online.stream import StreamingBFRV
+from repro.profiling.bfrv import bit_flip_rate_vector
+
+__all__ = ["run_benchmark", "write_report", "DEFAULT_REPORT_PATH"]
+
+DEFAULT_REPORT_PATH = "BENCH_online.json"
+SCENARIOS = ("stream", "random", "phase-mix")
+
+WINDOW_BITS = 15
+BIT_OFFSET = 6
+
+
+def _trace(scenario: str, accesses: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    line = 64
+    span = 1 << 26  # 64 MiB of line-aligned addresses
+    if scenario == "stream":
+        return (
+            np.arange(accesses, dtype=np.uint64) * np.uint64(line)
+        ) % np.uint64(span)
+    if scenario == "random":
+        return rng.integers(
+            0, span // line, accesses, dtype=np.uint64
+        ) * np.uint64(line)
+    if scenario == "phase-mix":
+        half = accesses // 2
+        stride = (
+            np.arange(half, dtype=np.uint64) * np.uint64(line)
+        ) % np.uint64(span)
+        tiled = rng.integers(
+            0, span // (32 * line), accesses - half, dtype=np.uint64
+        ) * np.uint64(32 * line)
+        return np.concatenate([stride, tiled])
+    raise ValueError(f"unknown bench scenario {scenario!r}")
+
+
+def _windows(trace: np.ndarray, window: int):
+    for start in range(0, trace.size, window):
+        yield start, trace[start : start + window]
+
+
+def _batch_recompute(trace: np.ndarray, window: int) -> np.ndarray:
+    """The naive online loop: full batch recompute at every boundary."""
+    rates = np.zeros(WINDOW_BITS)
+    for start, chunk in _windows(trace, window):
+        rates = bit_flip_rate_vector(
+            trace[: start + chunk.size], WINDOW_BITS, BIT_OFFSET
+        )
+    return rates
+
+
+def _streaming(trace: np.ndarray, window: int, decay: float) -> np.ndarray:
+    estimator = StreamingBFRV(WINDOW_BITS, BIT_OFFSET, decay=decay)
+    rates = estimator.rates
+    for _start, chunk in _windows(trace, window):
+        rates = estimator.update(chunk)
+    return rates
+
+
+def _time_ns(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        fn()
+        best = min(best, time.perf_counter_ns() - start)
+    return float(best)
+
+
+def run_benchmark(
+    accesses: int = 262_144,
+    seed: int = 0,
+    repeats: int = 3,
+    window: int = 2048,
+    decay: float = 0.3,
+    config: HBMConfig | None = None,
+    scenarios: tuple[str, ...] = SCENARIOS,
+) -> dict:
+    """Time windowed batch recompute vs the streaming fold.
+
+    The headline number is ``summary_speedup_geomean.streaming`` — how
+    much cheaper the streaming estimator makes per-window statistics,
+    geomean over trace shapes.  ``config`` is accepted for CLI symmetry
+    with the translation bench (the estimator is device-independent).
+    """
+    del config  # device-independent; kept for a uniform bench CLI
+    cells: dict[str, dict] = {}
+    for scenario in scenarios:
+        trace = _trace(scenario, accesses, seed)
+
+        # Bit-exactness first; only a correct estimator gets timed.
+        batch = bit_flip_rate_vector(trace, WINDOW_BITS, BIT_OFFSET)
+        streamed = _streaming(trace, window, decay=1.0)
+        if not np.array_equal(batch, streamed):
+            raise AssertionError(
+                f"{scenario}: streaming decay=1.0 diverges from batch"
+            )
+
+        baseline_ns = _time_ns(
+            lambda: _batch_recompute(trace, window), repeats
+        )
+        streaming_ns = _time_ns(
+            lambda: _streaming(trace, window, decay), repeats
+        )
+        cells[scenario] = {
+            "baseline_ns": baseline_ns,
+            "streaming_ns": streaming_ns,
+            "speedup": baseline_ns / streaming_ns
+            if streaming_ns
+            else float("inf"),
+            "baseline_maccesses_per_s": accesses * 1e3 / baseline_ns,
+            "streaming_maccesses_per_s": accesses * 1e3 / streaming_ns,
+        }
+    summary = {
+        "streaming": float(
+            np.exp(
+                np.mean([np.log(cells[s]["speedup"]) for s in scenarios])
+            )
+        )
+    }
+    return {
+        "schema": 1,
+        "benchmark": "online-streaming-bfrv",
+        "accesses": int(accesses),
+        "seed": int(seed),
+        "repeats": int(repeats),
+        "window": int(window),
+        "decay": float(decay),
+        "unix_time": time.time(),
+        "cells": cells,
+        "summary_speedup_geomean": summary,
+    }
+
+
+def write_report(report: dict, path: "str | Path") -> Path:
+    """Write the benchmark report as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

@@ -1,0 +1,270 @@
+"""Adaptive-vs-static campaign on a phase-shifting workload.
+
+The experiment behind ``python -m repro adapt``: run the
+:class:`~repro.workloads.synthetic.PhaseShiftWorkload` — whose phases
+are chosen so that *no* single window permutation serves the whole
+trace — once on an adaptive machine (the
+:class:`~repro.online.controller.AdaptiveController` watching the
+external trace in windows and migrating live) and once under every
+relevant static mapping: the boot identity, the paper's offline
+profile-then-select mapping, and each mapping the controller itself
+adopted, frozen for the whole run.
+
+Both sides are scored identically: the external PA trace is served
+window by window through the fast HBM model under whatever mapping is
+programmed when the window arrives, and the adaptive side additionally
+pays its full migration + reprogram overhead.  The trace is treated as
+the post-cache external stream (the controller sits at the memory
+controller, below the LLC), so no cache filtering is applied.
+
+A second, stationary trace (the streaming phase for the whole run) is
+fed to a fresh controller as the no-thrash control: it must perform
+zero remaps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.amu import AddressMappingUnit
+from repro.core.bitshuffle import select_window_permutation
+from repro.core.chunks import ChunkGeometry
+from repro.core.sdam import SDAMController
+from repro.hbm.config import HBMConfig, hbm2_config
+from repro.hbm.fastmodel import WindowModel
+from repro.mem.kernel import Kernel
+from repro.mem.malloc import MappingAwareAllocator
+from repro.online.controller import AdaptiveController
+from repro.profiling.bfrv import window_flip_rates
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import PhaseShiftWorkload
+
+__all__ = ["AdaptiveCampaignResult", "run_adaptive_campaign"]
+
+
+@dataclass
+class AdaptiveCampaignResult:
+    """Everything one adaptive campaign produced."""
+
+    workload: str
+    seed: int
+    quick: bool
+    window_accesses: int
+    windows: int
+    adaptive_service_ns: float
+    overhead_ns: float
+    static_ns: dict[str, float]
+    best_static: str
+    remaps: int
+    failed_remaps: int
+    declines: int
+    stationary_remaps: int
+    traffic: dict = field(default_factory=dict)
+    journal: list = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def adaptive_total_ns(self) -> float:
+        """Adaptive service time with all remap overhead charged."""
+        return self.adaptive_service_ns + self.overhead_ns
+
+    @property
+    def best_static_ns(self) -> float:
+        """Aggregate service time of the best static single mapping."""
+        return self.static_ns[self.best_static]
+
+    @property
+    def speedup(self) -> float:
+        """Best static over adaptive (overhead included)."""
+        if self.adaptive_total_ns <= 0:
+            return 0.0
+        return self.best_static_ns / self.adaptive_total_ns
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.workload}: adaptive {self.adaptive_total_ns / 1e3:.1f} us "
+            f"(overhead {self.overhead_ns / 1e3:.1f} us, "
+            f"{self.remaps} remaps) vs best static "
+            f"[{self.best_static}] {self.best_static_ns / 1e3:.1f} us "
+            f"-> speedup {self.speedup:.2f}x"
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form."""
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "quick": self.quick,
+            "window_accesses": self.window_accesses,
+            "windows": self.windows,
+            "adaptive_service_ns": self.adaptive_service_ns,
+            "overhead_ns": self.overhead_ns,
+            "adaptive_total_ns": self.adaptive_total_ns,
+            "static_ns": {k: float(v) for k, v in self.static_ns.items()},
+            "best_static": self.best_static,
+            "best_static_ns": self.best_static_ns,
+            "speedup": self.speedup,
+            "remaps": self.remaps,
+            "failed_remaps": self.failed_remaps,
+            "declines": self.declines,
+            "stationary_remaps": self.stationary_remaps,
+            "traffic": dict(self.traffic),
+            "journal": [dict(entry) for entry in self.journal],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def fingerprint(self) -> dict:
+        """:meth:`to_dict` with wall-clock fields zeroed.
+
+        Two campaigns with the same seed are bit-identical on this —
+        the determinism contract the tests assert.
+        """
+        data = self.to_dict()
+        data["elapsed_seconds"] = 0.0
+        return data
+
+
+def _build_stack(
+    workload: Workload,
+    geometry: ChunkGeometry,
+    seed: int,
+) -> tuple[Kernel, np.ndarray]:
+    """Boot an SDAM kernel, allocate the workload, return its PA trace."""
+    sdam = SDAMController(geometry)
+    kernel = Kernel(geometry, sdam=sdam)
+    space = kernel.spawn()
+    allocator = MappingAwareAllocator(kernel, space)
+    base = {
+        spec.name: allocator.malloc(spec.size_bytes, mapping_id=0, tag=spec.name)
+        for spec in workload.variables()
+    }
+    trace = workload.trace(base, input_seed=seed)[0]
+    return kernel, space.translate_trace(trace.va)
+
+
+def _windows(pa: np.ndarray, window_accesses: int):
+    for start in range(0, pa.size, window_accesses):
+        yield pa[start : start + window_accesses]
+
+
+def _serve_static(
+    pa: np.ndarray,
+    perm,
+    geometry: ChunkGeometry,
+    model: WindowModel,
+    window_accesses: int,
+) -> float:
+    """Aggregate per-window service time under one frozen mapping."""
+    amu = AddressMappingUnit(geometry.window_bits)
+    ha = amu.full_mapping(perm, geometry).apply(pa)
+    return sum(
+        float(model.simulate(window).makespan_ns)
+        for window in _windows(ha, window_accesses)
+    )
+
+
+def run_adaptive_campaign(
+    seed: int = 0,
+    quick: bool = False,
+    config: HBMConfig | None = None,
+    geometry: ChunkGeometry | None = None,
+    window_accesses: int = 2048,
+    workload: Workload | None = None,
+    controller_kwargs: dict | None = None,
+) -> AdaptiveCampaignResult:
+    """Run the seeded adaptive-vs-static campaign.
+
+    ``quick`` shrinks the trace and the buffer (one chunk instead of
+    two) for smoke runs; the experiment's structure is unchanged.
+    """
+    started = time.perf_counter()
+    hbm = config or hbm2_config()
+    geometry = geometry or ChunkGeometry(total_bytes=hbm.total_bytes)
+    if workload is None:
+        workload = (
+            PhaseShiftWorkload(
+                buffer_bytes=2 * 1024 * 1024, accesses_per_phase=49152
+            )
+            if quick
+            else PhaseShiftWorkload(
+                buffer_bytes=4 * 1024 * 1024, accesses_per_phase=98304
+            )
+        )
+    model = WindowModel(hbm, max_inflight=64)
+
+    # -- adaptive machine ---------------------------------------------------
+    kernel, pa = _build_stack(workload, geometry, seed)
+    controller = AdaptiveController(
+        kernel, mapping_id=0, hbm=hbm, **(controller_kwargs or {})
+    )
+    adaptive_service = 0.0
+    windows = 0
+    adopted: list[np.ndarray] = []
+    for window in _windows(pa, window_accesses):
+        windows += 1
+        ha = kernel.sdam.translate(window)
+        adaptive_service += float(model.simulate(ha).makespan_ns)
+        entry = controller.observe(window)
+        if entry is not None and entry["kind"] == "remap":
+            index = kernel.hardware_index_of(controller.mapping_id)
+            adopted.append(kernel.sdam.cmt.config_of(index))
+
+    # -- static baselines ---------------------------------------------------
+    low, high = geometry.window_slice()
+    identity = np.arange(high - low, dtype=np.int64)
+    offline = select_window_permutation(
+        window_flip_rates(pa, (low, high)), hbm.layout(), geometry
+    )
+    candidates: dict[str, np.ndarray] = {
+        "identity": identity,
+        "offline-bfrv": offline,
+    }
+    for perm in adopted:
+        key = "adaptive-perm-" + "".join(f"{int(b):x}" for b in perm)
+        candidates.setdefault(key, perm)
+    static_ns = {
+        label: _serve_static(pa, perm, geometry, model, window_accesses)
+        for label, perm in candidates.items()
+    }
+    best_static = min(static_ns, key=lambda label: static_ns[label])
+
+    # -- stationary control: the no-thrash guarantee ------------------------
+    stationary = PhaseShiftWorkload(
+        buffer_bytes=workload.buffer_bytes
+        if isinstance(workload, PhaseShiftWorkload)
+        else 2 * 1024 * 1024,
+        accesses_per_phase=window_accesses * 8,
+        phases=("stream",),
+    )
+    stat_kernel, stat_pa = _build_stack(stationary, geometry, seed)
+    stat_controller = AdaptiveController(
+        stat_kernel, mapping_id=0, hbm=hbm, **(controller_kwargs or {})
+    )
+    for window in _windows(stat_pa, window_accesses):
+        stat_controller.observe(window)
+
+    declines = sum(
+        1 for entry in controller.journal if entry["kind"] == "decline"
+    )
+    return AdaptiveCampaignResult(
+        workload=workload.name,
+        seed=seed,
+        quick=quick,
+        window_accesses=window_accesses,
+        windows=windows,
+        adaptive_service_ns=adaptive_service,
+        overhead_ns=float(controller.traffic.overhead_ns),
+        static_ns=static_ns,
+        best_static=best_static,
+        remaps=controller.traffic.remaps,
+        failed_remaps=controller.traffic.failed_remaps,
+        declines=declines,
+        stationary_remaps=stat_controller.traffic.remaps,
+        traffic=controller.traffic.to_dict(),
+        journal=[dict(entry) for entry in controller.journal],
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,143 @@
+"""Phase-change detection over streaming bit-flip-rate vectors.
+
+A mapping is justified by the BFRV it was selected from.  The detector
+keeps that *reference* vector and compares each new decayed estimate
+against it; when the distance stays above a trigger threshold for a
+configurable number of consecutive windows (persistence — one noisy
+window never fires), the workload has entered a new phase and the
+controller should reconsider its mapping.
+
+Hysteresis is built in twice over: the persistence requirement on the
+way up, and the rule that the reference only moves when the *caller*
+accepts the new phase (after a remap, or after an explicit decline) —
+so a stationary trace, whose estimate never leaves the reference's
+neighbourhood, can never fire at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProfilingError
+
+__all__ = ["PhaseEvent", "PhaseDetector", "bfrv_distance"]
+
+
+def bfrv_distance(a: np.ndarray, b: np.ndarray, metric: str = "l1") -> float:
+    """Distance between two flip-rate vectors.
+
+    ``l1`` is the mean absolute per-bit difference (scale-free in the
+    number of bits, bounded by 1).  ``cosine`` is ``1 - cos(a, b)`` —
+    shape-sensitive but magnitude-blind; two zero vectors are at
+    distance 0, a zero vector against a non-zero one at distance 1.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ProfilingError("flip-rate vectors have different shapes")
+    if metric == "l1":
+        return float(np.abs(a - b).mean())
+    if metric == "cosine":
+        norm_a = float(np.linalg.norm(a))
+        norm_b = float(np.linalg.norm(b))
+        if norm_a == 0.0 and norm_b == 0.0:
+            return 0.0
+        if norm_a == 0.0 or norm_b == 0.0:
+            return 1.0
+        return 1.0 - float(np.dot(a, b)) / (norm_a * norm_b)
+    raise ProfilingError(f"unknown BFRV distance metric {metric!r}")
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One detected phase change."""
+
+    window: int  # detector window index at which the change fired
+    distance: float  # distance from the reference when it fired
+    streak: int  # consecutive over-threshold windows behind it
+    metric: str
+
+
+class PhaseDetector:
+    """Flags when the decayed BFRV diverges from the mapping's reference.
+
+    Parameters
+    ----------
+    threshold:
+        Trigger distance.  Must be exceeded on ``persistence``
+        consecutive windows to fire.
+    persistence:
+        Consecutive over-threshold windows required (the hysteresis
+        against one-window noise).
+    metric:
+        ``"l1"`` (default) or ``"cosine"`` — see :func:`bfrv_distance`.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.08,
+        persistence: int = 2,
+        metric: str = "l1",
+    ):
+        if threshold <= 0:
+            raise ProfilingError("threshold must be positive")
+        if persistence < 1:
+            raise ProfilingError("persistence must be >= 1")
+        bfrv_distance(np.zeros(1), np.zeros(1), metric)  # validate early
+        self.threshold = threshold
+        self.persistence = persistence
+        self.metric = metric
+        self._reference: np.ndarray | None = None
+        self._streak = 0
+        self.windows_seen = 0
+        self.last_distance = 0.0
+        self.events: list[PhaseEvent] = []
+
+    @property
+    def reference(self) -> np.ndarray | None:
+        """The BFRV that justified the current mapping (a copy)."""
+        return None if self._reference is None else self._reference.copy()
+
+    def set_reference(self, rates: np.ndarray) -> None:
+        """Re-anchor on the BFRV that now justifies the current regime."""
+        self._reference = np.asarray(rates, dtype=np.float64).copy()
+        self._streak = 0
+
+    def observe(self, rates: np.ndarray) -> PhaseEvent | None:
+        """Fold one window's estimate in; returns an event when firing.
+
+        The first observation becomes the reference.  After an event
+        the caller decides what to do and must re-anchor with
+        :meth:`set_reference`; until then the detector keeps firing at
+        most every ``persistence`` windows.
+        """
+        self.windows_seen += 1
+        if self._reference is None:
+            self.set_reference(rates)
+            self.last_distance = 0.0
+            return None
+        self.last_distance = bfrv_distance(rates, self._reference, self.metric)
+        if self.last_distance <= self.threshold:
+            self._streak = 0
+            return None
+        self._streak += 1
+        if self._streak < self.persistence:
+            return None
+        event = PhaseEvent(
+            window=self.windows_seen,
+            distance=self.last_distance,
+            streak=self._streak,
+            metric=self.metric,
+        )
+        self.events.append(event)
+        self._streak = 0
+        return event
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseDetector(threshold={self.threshold}, "
+            f"persistence={self.persistence}, metric={self.metric!r}, "
+            f"events={len(self.events)})"
+        )

@@ -1,0 +1,199 @@
+"""Cost/benefit pricing of a live remap.
+
+A detected phase change does not automatically justify a remap: moving
+a mapping group's live data costs real device time (every allocated
+line is read through the old mapping and rewritten through the new
+one), plus the CMT writes and the AMU crossbar reprogram.  The policy
+prices that against the projected service-time gain of the candidate
+permutation and only approves when the gain clearly amortises.
+
+The benefit estimate is *measured, not guessed*: the recent window's
+PA trace is replayed through the fast window model under both the
+current and the candidate full-width mappings, and the per-window
+makespan difference is projected over a configurable horizon.  The
+migration estimate prices the copy as a balanced two-transfer-per-line
+stream plus fixed per-chunk CMT-write and per-remap AMU-reprogram
+costs.  Cooldown and per-chunk remap budgets guard against thrash even
+when the detector fires legitimately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.amu import AddressMappingUnit
+from repro.core.chunks import ChunkGeometry
+from repro.errors import ProfilingError
+from repro.hbm.config import HBMConfig
+from repro.hbm.fastmodel import WindowModel
+
+__all__ = ["RemapDecision", "RemapPolicy", "CMT_WRITE_NS", "AMU_REPROGRAM_NS"]
+
+#: Modeled cost of one CMT driver write (Table 3's lookup-class SRAM).
+CMT_WRITE_NS = 10.0
+#: Modeled cost of rewriting the AMU crossbar configuration lanes.
+AMU_REPROGRAM_NS = 200.0
+
+
+@dataclass(frozen=True)
+class RemapDecision:
+    """The policy's verdict on one phase-change event."""
+
+    remap: bool
+    reason: str  # approved | cooldown | same-mapping | insufficient-gain
+    #          | chunk-budget | degenerate-profile
+    gain_ns_per_window: float = 0.0
+    projected_gain_ns: float = 0.0
+    migration_cost_ns: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable form."""
+        return {
+            "remap": self.remap,
+            "reason": self.reason,
+            "gain_ns_per_window": self.gain_ns_per_window,
+            "projected_gain_ns": self.projected_gain_ns,
+            "migration_cost_ns": self.migration_cost_ns,
+            "details": dict(self.details),
+        }
+
+
+class RemapPolicy:
+    """Prices a candidate remap against its projected benefit.
+
+    Parameters
+    ----------
+    horizon_windows:
+        How many future windows the new phase is assumed to last; the
+        per-window gain is projected over this horizon.
+    benefit_margin:
+        Safety factor: the projected gain must exceed
+        ``benefit_margin * migration_cost`` to approve.
+    cooldown_windows:
+        Minimum windows between approved remaps (thrash guard).
+    max_remaps_per_chunk:
+        Lifetime migration budget per chunk; a group containing a chunk
+        over budget declines further remaps.
+    probe_accesses:
+        Cap on the replayed window length for the benefit probe.
+    """
+
+    def __init__(
+        self,
+        hbm: HBMConfig,
+        geometry: ChunkGeometry,
+        horizon_windows: int = 8,
+        benefit_margin: float = 1.2,
+        cooldown_windows: int = 4,
+        max_remaps_per_chunk: int = 8,
+        probe_accesses: int = 4096,
+        max_inflight: int = 64,
+    ):
+        if horizon_windows < 1:
+            raise ProfilingError("horizon_windows must be >= 1")
+        if cooldown_windows < 0:
+            raise ProfilingError("cooldown_windows must be >= 0")
+        self.hbm = hbm
+        self.geometry = geometry
+        self.horizon_windows = horizon_windows
+        self.benefit_margin = benefit_margin
+        self.cooldown_windows = cooldown_windows
+        self.max_remaps_per_chunk = max_remaps_per_chunk
+        self.probe_accesses = probe_accesses
+        self._model = WindowModel(hbm, max_inflight=max_inflight)
+        self._amu = AddressMappingUnit(geometry.window_bits)
+
+    # -- pieces -------------------------------------------------------------
+    def probe_window_ns(self, pa: np.ndarray, window_perm) -> float:
+        """Simulated makespan of a PA window under one window mapping."""
+        pa = np.asarray(pa, dtype=np.uint64)
+        if pa.size > self.probe_accesses:
+            pa = pa[-self.probe_accesses :]
+        mapping = self._amu.full_mapping(window_perm, self.geometry)
+        return float(self._model.simulate(mapping.apply(pa)).makespan_ns)
+
+    def migration_estimate_ns(self, live_lines: int, chunks: int) -> float:
+        """Priced copy traffic + control-plane reprogram for one remap.
+
+        The copy is two line transfers per live line, optimistically
+        spread over every channel (the migrator interleaves reads under
+        the old mapping with writes under the new one).
+        """
+        copy_ns = (
+            2.0
+            * live_lines
+            * self.hbm.effective_t_burst_ns
+            / self.hbm.num_channels
+        )
+        return copy_ns + chunks * CMT_WRITE_NS + AMU_REPROGRAM_NS
+
+    # -- the verdict --------------------------------------------------------
+    def evaluate(
+        self,
+        window_pa: np.ndarray,
+        candidate_perm,
+        current_perm,
+        *,
+        windows_since_remap: int,
+        live_lines: int,
+        chunks: int,
+        chunk_remap_counts: dict[int, int] | None = None,
+        degenerate: bool = False,
+    ) -> RemapDecision:
+        """Approve or decline a remap for one phase-change event."""
+        candidate = np.asarray(candidate_perm, dtype=np.int64)
+        current = np.asarray(current_perm, dtype=np.int64)
+        if degenerate:
+            return RemapDecision(False, "degenerate-profile")
+        if np.array_equal(candidate, current):
+            return RemapDecision(False, "same-mapping")
+        if windows_since_remap < self.cooldown_windows:
+            return RemapDecision(
+                False,
+                "cooldown",
+                details={
+                    "windows_since_remap": windows_since_remap,
+                    "cooldown_windows": self.cooldown_windows,
+                },
+            )
+        over_budget = [
+            chunk_no
+            for chunk_no, count in (chunk_remap_counts or {}).items()
+            if count >= self.max_remaps_per_chunk
+        ]
+        if over_budget:
+            return RemapDecision(
+                False, "chunk-budget", details={"chunks": sorted(over_budget)}
+            )
+        current_ns = self.probe_window_ns(window_pa, current)
+        candidate_ns = self.probe_window_ns(window_pa, candidate)
+        gain = current_ns - candidate_ns
+        projected = gain * self.horizon_windows
+        cost = self.migration_estimate_ns(live_lines, chunks)
+        details = {
+            "current_window_ns": current_ns,
+            "candidate_window_ns": candidate_ns,
+            "horizon_windows": self.horizon_windows,
+            "live_lines": live_lines,
+            "chunks": chunks,
+        }
+        if gain <= 0 or projected <= self.benefit_margin * cost:
+            return RemapDecision(
+                False,
+                "insufficient-gain",
+                gain_ns_per_window=gain,
+                projected_gain_ns=projected,
+                migration_cost_ns=cost,
+                details=details,
+            )
+        return RemapDecision(
+            True,
+            "approved",
+            gain_ns_per_window=gain,
+            projected_gain_ns=projected,
+            migration_cost_ns=cost,
+            details=details,
+        )

@@ -466,3 +466,23 @@ class Machine:
             config=self.hbm,
             geometry=self.geometry,
         )
+
+    # -- online adaptation ------------------------------------------------------
+    def adaptive_campaign(self, seed: int | None = None, quick: bool = True):
+        """Run the seeded online-adaptation campaign on this device.
+
+        A phase-shifting workload is served window by window while an
+        :class:`~repro.online.controller.AdaptiveController` watches
+        the external trace, detects phase changes and migrates the live
+        mapping; the same trace is then scored under every relevant
+        static mapping.  Returns an
+        :class:`~repro.online.campaign.AdaptiveCampaignResult`.
+        """
+        from repro.online.campaign import run_adaptive_campaign
+
+        return run_adaptive_campaign(
+            seed=self.seed if seed is None else seed,
+            quick=quick,
+            config=self.hbm,
+            geometry=self.geometry,
+        )

@@ -26,7 +26,11 @@ from repro.workloads.models import (
 )
 from repro.workloads.parsec import PARSEC_TABLE1, parsec_suite, parsec_workload
 from repro.workloads.spec import SPEC2006_TABLE1, spec2006_suite, spec2006_workload
-from repro.workloads.synthetic import MixedStrideWorkload, StridedCopyWorkload
+from repro.workloads.synthetic import (
+    MixedStrideWorkload,
+    PhaseShiftWorkload,
+    StridedCopyWorkload,
+)
 
 
 def data_intensive_suite(**overrides) -> list[Workload]:
@@ -56,6 +60,7 @@ __all__ = [
     "ModeledWorkload",
     "PARSEC_TABLE1",
     "PageRankWorkload",
+    "PhaseShiftWorkload",
     "SPEC2006_TABLE1",
     "SSSPWorkload",
     "StridedCopyWorkload",

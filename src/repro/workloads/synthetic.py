@@ -11,15 +11,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cpu.trace import AccessTrace
+from repro.errors import SimulationError
 from repro.workloads.base import (
     LINE,
     VariableSpec,
     Workload,
+    pointer_chase_addresses,
+    record_addresses,
+    stable_name_seed,
     strided_addresses,
     tagged_trace,
 )
 
-__all__ = ["StridedCopyWorkload", "MixedStrideWorkload"]
+__all__ = ["StridedCopyWorkload", "MixedStrideWorkload", "PhaseShiftWorkload"]
 
 
 class StridedCopyWorkload(Workload):
@@ -129,6 +133,101 @@ class MixedStrideWorkload(Workload):
         return traces
 
 
+class PhaseShiftWorkload(Workload):
+    """One buffer, one thread, four access-pattern phases in sequence.
+
+    The adversary for *static* mapping selection: each phase's
+    per-window varying-bit set conflicts with another phase's, so no
+    single window permutation serves the whole run well —
+
+    ``stream``
+        stride-1 sweep; the low chunk-offset bits flip fastest, so the
+        boot channel-interleaved mapping is already right.
+    ``chase``
+        a dependent pointer chase over the whole buffer; every offset
+        bit flips, any permutation balances, nothing to gain.
+    ``tiled``
+        random record headers on ``tile_lines``-aligned boundaries; the
+        low offset bits are *constant*, so a low-bit channel mapping
+        serializes onto one channel and the mapping must move up.
+    ``sweep``
+        dwelling tile-local accesses (one ``tile_lines`` tile per
+        ``dwell`` accesses, tiles advancing sequentially); now only the
+        low bits vary per window and the ``tiled`` mapping serializes —
+        the mapping must move back down.
+
+    Phases are concatenated (not interleaved): the trace is a time
+    series with genuine phase boundaries, the input the online
+    controller exists for.
+    """
+
+    def __init__(
+        self,
+        buffer_bytes: int = 4 * 1024 * 1024,
+        accesses_per_phase: int = 49152,
+        tile_lines: int = 32,
+        dwell: int = 2048,
+        phases: tuple[str, ...] = ("stream", "chase", "tiled", "sweep"),
+    ):
+        if buffer_bytes < tile_lines * LINE:
+            raise SimulationError("buffer smaller than one tile")
+        self.name = "phase-shift"
+        self.buffer_bytes = buffer_bytes
+        self.accesses_per_phase = accesses_per_phase
+        self.tile_lines = tile_lines
+        self.dwell = dwell
+        self.phases = tuple(phases)
+
+    def variables(self) -> list[VariableSpec]:
+        """Allocation sites, in stable order (index = variable id)."""
+        return [VariableSpec("data", self.buffer_bytes)]
+
+    def _sweep(self, base: int, count: int, start_tile: int) -> np.ndarray:
+        """Dwell on one tile for ``dwell`` accesses, then advance."""
+        index = np.arange(count, dtype=np.uint64)
+        tiles = max(self.buffer_bytes // (self.tile_lines * LINE), 1)
+        tile = (index // np.uint64(self.dwell) + np.uint64(start_tile)) % (
+            np.uint64(tiles)
+        )
+        within = index % np.uint64(self.tile_lines)
+        lines = tile * np.uint64(self.tile_lines) + within
+        return np.uint64(base) + lines * np.uint64(LINE)
+
+    def _phase(
+        self, phase: str, base: int, rng: np.random.Generator, input_seed: int
+    ) -> np.ndarray:
+        count = self.accesses_per_phase
+        if phase == "stream":
+            return strided_addresses(
+                base, self.buffer_bytes, count, 1, start_line=input_seed * 17
+            )
+        if phase == "chase":
+            return pointer_chase_addresses(base, self.buffer_bytes, count, rng)
+        if phase == "tiled":
+            return record_addresses(
+                base,
+                self.buffer_bytes,
+                count,
+                rng,
+                record_lines=self.tile_lines,
+                lines_read=1,
+            )
+        if phase == "sweep":
+            return self._sweep(base, count, start_tile=input_seed % 7)
+        raise SimulationError(f"unknown phase {phase!r}")
+
+    def trace(self, base: dict[str, int], input_seed: int = 0) -> list[AccessTrace]:
+        """One thread's VA trace: the phases back to back."""
+        rng = np.random.default_rng(
+            stable_name_seed(self.name) * 65536 + input_seed
+        )
+        streams = [
+            (self._phase(phase, base["data"], rng, input_seed), 0, False)
+            for phase in self.phases
+        ]
+        return [tagged_trace(streams, interleave=False)]
+
+
 def max_stride_footprint(strides: tuple[int, ...], accesses: int) -> int:
     """Buffer size (bytes) that keeps every stride in-bounds unwrapped."""
     return max(strides) * accesses * LINE
@@ -138,4 +237,5 @@ def max_stride_footprint(strides: tuple[int, ...], accesses: int) -> int:
 SyntheticWorkloads = {
     "stride": StridedCopyWorkload,
     "mixed": MixedStrideWorkload,
+    "phase-shift": PhaseShiftWorkload,
 }

@@ -1,0 +1,66 @@
+"""End-to-end tests for the adaptive-vs-static campaign."""
+
+import json
+
+import pytest
+
+from repro.online.campaign import run_adaptive_campaign
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_adaptive_campaign(seed=0, quick=True)
+
+
+class TestAcceptance:
+    def test_adaptive_beats_best_static(self, quick_result):
+        """The headline criterion: >= 1.10x over the best static
+        mapping with all migration overhead charged."""
+        assert quick_result.speedup >= 1.10
+
+    def test_multiple_remaps_committed(self, quick_result):
+        assert quick_result.remaps >= 2
+        assert quick_result.failed_remaps == 0
+
+    def test_stationary_control_never_remaps(self, quick_result):
+        assert quick_result.stationary_remaps == 0
+
+    def test_overhead_is_charged(self, quick_result):
+        assert quick_result.overhead_ns > 0
+        assert (
+            quick_result.adaptive_total_ns
+            == quick_result.adaptive_service_ns + quick_result.overhead_ns
+        )
+
+    def test_static_field_includes_adopted_mappings(self, quick_result):
+        assert "identity" in quick_result.static_ns
+        assert "offline-bfrv" in quick_result.static_ns
+        adopted = [
+            label
+            for label in quick_result.static_ns
+            if label.startswith("adaptive-perm-")
+        ]
+        assert len(adopted) >= 1
+        assert quick_result.best_static in quick_result.static_ns
+
+    def test_journal_records_every_remap(self, quick_result):
+        remaps = [
+            entry
+            for entry in quick_result.journal
+            if entry["kind"] == "remap"
+        ]
+        assert len(remaps) == quick_result.remaps
+        for entry in remaps:
+            assert entry["lines_copied"] > 0
+            assert entry["decision"]["reason"] == "approved"
+
+    def test_result_serialises_to_json(self, quick_result):
+        data = json.loads(json.dumps(quick_result.to_dict()))
+        assert data["speedup"] == pytest.approx(quick_result.speedup)
+        assert data["best_static"] == quick_result.best_static
+
+
+class TestDeterminism:
+    def test_fixed_seed_is_bit_reproducible(self, quick_result):
+        again = run_adaptive_campaign(seed=0, quick=True)
+        assert again.fingerprint() == quick_result.fingerprint()

@@ -7,7 +7,10 @@ from hypothesis import strategies as st
 
 from repro.errors import ProfilingError
 from repro.profiling.bfrv import (
+    DEGENERATE_CONSTANT,
+    DEGENERATE_SHORT,
     bit_flip_rate_vector,
+    flip_counts,
     dominant_flip_bit,
     window_flip_rates,
 )
@@ -51,6 +54,60 @@ class TestBFRV:
     def test_invalid_bits(self):
         with pytest.raises(ProfilingError):
             bit_flip_rate_vector(stride_addresses(1), num_bits=0)
+
+
+class TestDegenerateFlags:
+    def test_short_trace_flagged(self):
+        for trace in (np.zeros(0, dtype=np.uint64), np.array([1], dtype=np.uint64)):
+            flags = {}
+            rates = bit_flip_rate_vector(trace, 8, flags=flags)
+            assert (rates == 0).all()
+            assert flags["degenerate"] == DEGENERATE_SHORT
+
+    def test_constant_trace_flagged(self):
+        flags = {}
+        rates = bit_flip_rate_vector(
+            np.full(32, 0x40, dtype=np.uint64), 8, flags=flags
+        )
+        assert (rates == 0).all()
+        assert flags["degenerate"] == DEGENERATE_CONSTANT
+
+    def test_healthy_trace_clears_stale_flag(self):
+        flags = {"degenerate": DEGENERATE_SHORT}
+        bit_flip_rate_vector(stride_addresses(1), 8, flags=flags)
+        assert flags["degenerate"] is None
+
+    def test_window_flip_rates_forwards_flags(self):
+        flags = {}
+        window_flip_rates(np.zeros(1, dtype=np.uint64), (6, 21), flags=flags)
+        assert flags["degenerate"] == DEGENERATE_SHORT
+
+    def test_flags_optional(self):
+        # The default path stays flag-free and silent on degeneracy.
+        assert (
+            bit_flip_rate_vector(np.zeros(0, dtype=np.uint64), 8) == 0
+        ).all()
+
+
+class TestFlipCounts:
+    def test_counts_are_integral_core_of_rates(self):
+        addresses = stride_addresses(3)
+        diffs = addresses[1:] ^ addresses[:-1]
+        counts = flip_counts(diffs, 20)
+        np.testing.assert_array_equal(
+            counts / float(diffs.size), bit_flip_rate_vector(addresses, 20)
+        )
+        assert counts.dtype == np.int64
+
+    def test_bit_offset_shifts_the_window(self):
+        diffs = np.array([0b1100_0000], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            flip_counts(diffs, 2, bit_offset=6), [1, 1]
+        )
+
+    def test_invalid_bits(self):
+        with pytest.raises(ProfilingError):
+            flip_counts(np.zeros(1, dtype=np.uint64), 0)
 
 
 class TestWindowRates:

@@ -53,6 +53,43 @@ class TestSession:
         assert suite.table.geomean("SDM+BSM") > 0
 
 
+class TestOnlineExports:
+    def test_adaptive_surface_exported_coherently(self):
+        from repro.online import AdaptiveController, run_adaptive_campaign
+
+        for name in (
+            "AdaptiveController",
+            "AdaptiveCampaignResult",
+            "run_adaptive_campaign",
+            "MappingSelection",
+            "select_application_mapping",
+        ):
+            assert name in repro.__all__
+            assert name in api.__all__
+            assert getattr(repro, name) is getattr(api, name)
+        assert repro.AdaptiveController is AdaptiveController
+        assert repro.run_adaptive_campaign is run_adaptive_campaign
+
+    def test_core_reexports_selection(self):
+        from repro import core
+        from repro.core.selection import select_application_mapping
+
+        assert core.select_application_mapping is select_application_mapping
+        assert "MappingSelection" in core.__all__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_session_adaptive_campaign(self):
+        session = api.Session(cache_dir=None, workers=0)
+        result = session.adaptive_campaign(seed=0, quick=True)
+        assert result.stationary_remaps == 0
+        assert result.speedup > 1.0
+
+
 class TestBuilders:
     def test_build_machine_default_warns(self):
         with pytest.warns(DeprecationWarning):

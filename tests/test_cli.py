@@ -116,6 +116,61 @@ class TestCLI:
         assert report["gc"] is None
 
 
+class TestAdaptCommand:
+    def test_adapt_quick_passes_gate(self, capsys, tmp_path):
+        out_path = tmp_path / "adapt.json"
+        code = main(
+            ["adapt", "--quick", "--min-speedup", "1.1", "--out", str(out_path)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "speedup" in captured
+        assert "<- best" in captured
+        assert "stationary control: 0 remaps" in captured
+        data = json.loads(out_path.read_text())
+        assert data["speedup"] >= 1.1
+        assert data["remaps"] >= 2
+        assert data["stationary_remaps"] == 0
+        assert "identity" in data["static_ns"]
+
+    def test_adapt_json_output(self, capsys):
+        assert main(["adapt", "--quick", "--seed", "7", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["seed"] == 7
+        assert data["best_static"] in data["static_ns"]
+
+    def test_adapt_gate_failure_is_nonzero(self, capsys):
+        assert main(["adapt", "--quick", "--min-speedup", "1000"]) == 1
+        assert "below the" in capsys.readouterr().err
+
+    def test_adapt_rejects_quick_and_full(self):
+        with pytest.raises(SystemExit):
+            main(["adapt", "--quick", "--full"])
+
+
+class TestOnlineBench:
+    def test_bench_online_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_online.json"
+        code = main(
+            [
+                "bench",
+                "--online",
+                "--accesses",
+                "16384",
+                "--repeats",
+                "1",
+                "--out",
+                str(out_path),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "streaming" in captured
+        report = json.loads(out_path.read_text())
+        assert "streaming" in report["summary_speedup_geomean"]
+        assert set(report["cells"]) == {"stream", "random", "phase-mix"}
+
+
 class TestRASCommand:
     def test_ras_quick_campaign(self, capsys, tmp_path):
         out_path = tmp_path / "ras_report.json"

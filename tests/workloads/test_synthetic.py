@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.workloads.synthetic import MixedStrideWorkload, StridedCopyWorkload
+from repro.errors import SimulationError
+from repro.workloads.synthetic import (
+    MixedStrideWorkload,
+    PhaseShiftWorkload,
+    StridedCopyWorkload,
+)
 
 
 def bases(workload) -> dict[str, int]:
@@ -68,3 +73,59 @@ class TestMixedStride:
     def test_footprint(self):
         w = MixedStrideWorkload(strides=(1, 2), buffer_bytes=1 << 20)
         assert w.total_footprint() == 4 << 20
+
+
+class TestPhaseShift:
+    def test_single_buffer_single_thread(self):
+        w = PhaseShiftWorkload(accesses_per_phase=256)
+        assert [v.name for v in w.variables()] == ["data"]
+        traces = w.trace(bases(w))
+        assert len(traces) == 1
+        assert traces[0].va.size == 256 * 4
+
+    def test_phases_are_concatenated_in_order(self):
+        w = PhaseShiftWorkload(
+            accesses_per_phase=128, phases=("stream", "tiled")
+        )
+        base = bases(w)
+        trace = w.trace(base)[0]
+        # First phase is the stride-1 stream: consecutive lines.
+        assert np.diff(trace.va[:8]).tolist() == [64] * 7
+        # Second phase lands on tile-aligned record headers.
+        tiled = trace.va[128:]
+        assert (((tiled - base["data"]) % (32 * 64)) == 0).all()
+
+    def test_sweep_dwells_within_one_tile(self):
+        w = PhaseShiftWorkload(
+            accesses_per_phase=4096, dwell=512, phases=("sweep",)
+        )
+        base = bases(w)
+        lines = (w.trace(base)[0].va - base["data"]) // 64
+        tiles = lines // 32
+        for start in range(0, 4096, 512):
+            assert np.unique(tiles[start : start + 512]).size == 1
+
+    def test_trace_is_deterministic_per_seed(self):
+        w = PhaseShiftWorkload(accesses_per_phase=512)
+        base = bases(w)
+        a = w.trace(base, input_seed=3)[0]
+        b = w.trace(base, input_seed=3)[0]
+        np.testing.assert_array_equal(a.va, b.va)
+        c = w.trace(base, input_seed=4)[0]
+        assert not np.array_equal(a.va, c.va)
+
+    def test_addresses_stay_in_buffer(self):
+        w = PhaseShiftWorkload(buffer_bytes=1 << 20, accesses_per_phase=2048)
+        base = bases(w)
+        va = w.trace(base, input_seed=5)[0].va
+        assert (va >= base["data"]).all()
+        assert (va < base["data"] + w.buffer_bytes).all()
+
+    def test_tiny_buffer_rejected(self):
+        with pytest.raises(SimulationError):
+            PhaseShiftWorkload(buffer_bytes=64)
+
+    def test_unknown_phase_rejected(self):
+        w = PhaseShiftWorkload(accesses_per_phase=64, phases=("zigzag",))
+        with pytest.raises(SimulationError):
+            w.trace(bases(w))
