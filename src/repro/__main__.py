@@ -16,7 +16,10 @@ without writing any code:
   translate+decode vs the pre-refactor baseline, written to
   ``BENCH_translation.json`` (``--min-speedup`` gates CI); with
   ``--online``, the streaming-BFRV estimator vs windowed batch
-  recompute instead, written to ``BENCH_online.json``;
+  recompute instead, written to ``BENCH_online.json``; with
+  ``--evaluate``, the end-to-end evaluate stage under the chunked
+  vector backend vs the event-loop reference, written to
+  ``BENCH_evaluate.json`` (``--workers`` shards across channels);
 * ``verify-cache`` — checksum + decode every stage-cache entry,
   quarantining corrupt ones (``--gc`` sweeps tmp debris, and
   ``--purge-quarantine`` empties the quarantine);
@@ -138,7 +141,12 @@ def cmd_suite(args) -> int:
     from repro import api
     from repro.system.reporting import format_table
 
-    session = api.Session(cache_dir=args.cache_dir, workers=args.workers)
+    session_kwargs: dict = {}
+    if args.backend:
+        session_kwargs["backend"] = args.backend
+    session = api.Session(
+        cache_dir=args.cache_dir, workers=args.workers, **session_kwargs
+    )
     if args.resume:
         workloads = api.evaluation_workloads(quick=not args.full)
         if not args.full:
@@ -182,8 +190,55 @@ def cmd_suite(args) -> int:
 
 def cmd_bench(args) -> int:
     """Benchmark the translation datapath (or, with ``--online``, the
-    streaming estimator); write the JSON report."""
+    streaming estimator; with ``--evaluate``, the end-to-end evaluate
+    stage); write the JSON report."""
     import json
+
+    if args.evaluate:
+        from repro.system.bench import (
+            EVALUATE_REPORT_PATH,
+            run_evaluate_benchmark,
+            write_report,
+        )
+
+        accesses = args.accesses or 200_000
+        report = run_evaluate_benchmark(
+            accesses=accesses,
+            seed=args.seed,
+            repeats=args.repeats,
+            backend=args.backend or "vector",
+            workers=args.workers,
+        )
+        path = write_report(report, args.out or EVALUATE_REPORT_PATH)
+        summary = report["summary_speedup_geomean"]
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(
+                f"evaluate bench: {accesses} accesses, "
+                f"backend {report['backend']}"
+                + (f" x{args.workers} shards" if args.workers else "")
+                + f" -> {path}"
+            )
+            for scenario, cell in report["cells"].items():
+                ev = cell["evaluate"]
+                cal = cell["calibration"]
+                print(
+                    f"  {scenario:8s} evaluate "
+                    f"{ev['fused_maccesses_per_s']:8.1f} Macc/s "
+                    f"({ev['speedup']:.2f}x vs event loop, "
+                    f"makespan ratio {cal['makespan_ratio']:.2f})"
+                )
+            print(f"  geomean speedup: evaluate {summary['evaluate']:.2f}x")
+        gate = summary["evaluate"]
+        if gate < args.min_speedup:
+            print(
+                f"error: geomean speedup {gate:.2f}x below the "
+                f"--min-speedup {args.min_speedup:.2f}x gate",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     if args.online:
         from repro.online.bench import (
@@ -251,6 +306,7 @@ def cmd_adapt(args) -> int:
         seed=args.seed,
         quick=not args.full,
         window_accesses=args.window,
+        backend=args.backend or "fast",
     )
     payload = result.to_dict()
     if args.out:
@@ -349,7 +405,10 @@ def cmd_ras(args) -> int:
 
     kinds = tuple(args.kinds.split(",")) if args.kinds else ALL_KINDS
     result = run_campaign(
-        seed=args.seed, kinds=kinds, quick=not args.full
+        seed=args.seed,
+        kinds=kinds,
+        quick=not args.full,
+        backend=args.backend or "fast",
     )
     payload = result.to_dict()
     if args.out:
@@ -404,14 +463,39 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="finish an interrupted sweep (healthy cells served from cache)",
     )
+    suite.add_argument(
+        "--backend",
+        default=None,
+        help="memory fidelity tier for every cell "
+        "(fast | vector | event; default fast)",
+    )
     bench = sub.add_parser(
         "bench", help="translation-datapath microbenchmark (fused vs legacy)"
     )
-    bench.add_argument(
+    bench_mode = bench.add_mutually_exclusive_group()
+    bench_mode.add_argument(
         "--online",
         action="store_true",
         help="benchmark the streaming-BFRV estimator instead "
         "(report goes to BENCH_online.json)",
+    )
+    bench_mode.add_argument(
+        "--evaluate",
+        action="store_true",
+        help="benchmark the end-to-end evaluate stage: chunk-streamed "
+        "--backend tier vs the event-loop reference "
+        "(report goes to BENCH_evaluate.json)",
+    )
+    bench.add_argument(
+        "--backend",
+        default=None,
+        help="candidate memory backend for --evaluate (default vector)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="channel shards for the --evaluate candidate (0 = in-process)",
     )
     bench.add_argument(
         "--accesses",
@@ -476,6 +560,12 @@ def main(argv: list[str] | None = None) -> int:
     ras.add_argument(
         "--json", action="store_true", help="print the report as JSON"
     )
+    ras.add_argument(
+        "--backend",
+        default=None,
+        help="memory fidelity tier both twins run on "
+        "(fast | vector | event; default fast)",
+    )
     adapt = sub.add_parser(
         "adapt", help="seeded online-adaptation campaign (adaptive vs static)"
     )
@@ -502,6 +592,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="fail unless adaptive beats the best static mapping by "
         "this factor (CI gate)",
+    )
+    adapt.add_argument(
+        "--backend",
+        default=None,
+        help="memory fidelity tier windows are scored through "
+        "(fast | vector | event; default fast)",
     )
     args = parser.parse_args(argv)
     handlers = {

@@ -190,6 +190,13 @@ class Session:
         )
 
     # -- the API -------------------------------------------------------------
+    def _machine_kwargs(self, backend: str | None) -> dict:
+        """Session-wide machine kwargs, with a per-call backend override."""
+        kwargs = dict(self.machine_kwargs)
+        if backend is not None:
+            kwargs["backend"] = backend
+        return kwargs
+
     def run(
         self,
         workload: Workload,
@@ -197,14 +204,20 @@ class Session:
         *,
         profile_seed: int = 0,
         eval_seed: int = 1,
+        backend: str | None = None,
     ) -> MachineResult:
-        """One workload under one system, cached."""
+        """One workload under one system, cached.
+
+        ``backend`` selects the memory fidelity tier (``"fast"``,
+        ``"vector"``, ``"event"``) for this call, overriding the
+        session-wide machine configuration.
+        """
         return self.runner.run_one(
             workload,
             _resolve_system(system),
             profile_seed=profile_seed,
             eval_seed=eval_seed,
-            **self.machine_kwargs,
+            **self._machine_kwargs(backend),
         )
 
     def compare(
@@ -219,6 +232,7 @@ class Session:
         *,
         profile_seed: int = 0,
         eval_seed: int = 1,
+        backend: str | None = None,
     ) -> dict[str, MachineResult]:
         """One workload under several systems, keyed by the *caller's*
         system key (so duplicate labels cannot collide)."""
@@ -231,6 +245,7 @@ class Session:
                 config,
                 profile_seed=profile_seed,
                 eval_seed=eval_seed,
+                backend=backend,
             )
         return results
 
@@ -242,6 +257,7 @@ class Session:
         profile_seed: int = 0,
         eval_seed: int = 1,
         resume: bool = False,
+        backend: str | None = None,
     ) -> SuiteResult:
         """Every workload under every system: cached, parallel, and
         failure-isolated.
@@ -264,7 +280,7 @@ class Session:
             profile_seed=profile_seed,
             eval_seed=eval_seed,
             resume=resume,
-            **self.machine_kwargs,
+            **self._machine_kwargs(backend),
         )
 
     def full_evaluation(self, *, quick: bool = True) -> SuiteResult:
@@ -279,7 +295,14 @@ class Session:
             self.machine_kwargs.setdefault("dl_config", QUICK_DL_CONFIG)
         return self.sweep(workloads, systems=standard_systems())
 
-    def ras_campaign(self, seed: int = 0, kinds=None, *, quick: bool = True):
+    def ras_campaign(
+        self,
+        seed: int = 0,
+        kinds=None,
+        *,
+        quick: bool = True,
+        backend: str | None = None,
+    ):
         """Seeded device-fault campaign: inject, detect, repair, verify.
 
         Builds a faulty machine and a clean twin (honouring any ``hbm``
@@ -297,12 +320,20 @@ class Session:
             overrides["config"] = self.machine_kwargs["hbm"]
         if "geometry" in self.machine_kwargs:
             overrides["geometry"] = self.machine_kwargs["geometry"]
+        chosen = backend or self.machine_kwargs.get("backend")
+        if chosen is not None:
+            overrides["backend"] = chosen
         return run_campaign(
             seed=seed, kinds=kinds or ALL_KINDS, quick=quick, **overrides
         )
 
     def adaptive_campaign(
-        self, seed: int = 0, *, quick: bool = True, **campaign_kwargs
+        self,
+        seed: int = 0,
+        *,
+        quick: bool = True,
+        backend: str | None = None,
+        **campaign_kwargs,
     ) -> AdaptiveCampaignResult:
         """Seeded online-adaptation campaign: adaptive vs best static.
 
@@ -318,6 +349,9 @@ class Session:
             overrides.setdefault("config", self.machine_kwargs["hbm"])
         if "geometry" in self.machine_kwargs:
             overrides.setdefault("geometry", self.machine_kwargs["geometry"])
+        chosen = backend or self.machine_kwargs.get("backend")
+        if chosen is not None:
+            overrides.setdefault("backend", chosen)
         return run_adaptive_campaign(seed=seed, quick=quick, **overrides)
 
 

@@ -1,5 +1,5 @@
 """3D-memory simulator substrate: device configs, fused decode and
-pluggable backends (two built-in fidelity tiers)."""
+pluggable backends (three built-in fidelity tiers)."""
 
 from repro.hbm.backend import (
     MemoryBackend,
@@ -11,12 +11,15 @@ from repro.hbm.config import HBMConfig, ddr4_config, hbm2_config
 from repro.hbm.decode import (
     DecodedTrace,
     DecodePlan,
+    concat_decoded,
     decode_trace,
     decode_translated,
+    iter_decoded_chunks,
 )
 from repro.hbm.device import HBMDevice
 from repro.hbm.fastmodel import WindowModel, row_hit_mask
 from repro.hbm.stats import DeviceHealth, RunStats
+from repro.hbm.vectormodel import VectorModel
 
 __all__ = [
     "DecodedTrace",
@@ -26,13 +29,16 @@ __all__ = [
     "HBMDevice",
     "MemoryBackend",
     "RunStats",
+    "VectorModel",
     "WindowModel",
     "available_backends",
+    "concat_decoded",
     "create_backend",
     "ddr4_config",
     "decode_trace",
     "decode_translated",
     "hbm2_config",
+    "iter_decoded_chunks",
     "register_backend",
     "row_hit_mask",
 ]

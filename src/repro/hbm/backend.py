@@ -1,15 +1,17 @@
 """Pluggable memory backends behind one protocol.
 
-Both fidelity tiers — the vectorised :class:`~repro.hbm.fastmodel.
-WindowModel` and the event-driven :class:`~repro.hbm.device.HBMDevice` —
-consume the *same* fused decoded stream (:class:`~repro.hbm.decode.
-DecodedTrace`) through :class:`MemoryBackend`.  The machine selects a
-backend by name from a registry, so alternative device models (a DDR
-model, a remote simulator bridge, a statistics-only stub) plug in
-without touching the pipeline:
+All three fidelity tiers — the analytic :class:`~repro.hbm.fastmodel.
+WindowModel` (``"fast"``), the vectorised-timing :class:`~repro.hbm.
+vectormodel.VectorModel` (``"vector"``), and the event-driven reference
+:class:`~repro.hbm.device.HBMDevice` (``"event"``) — consume the *same*
+fused decoded stream (:class:`~repro.hbm.decode.DecodedTrace`, whole or
+chunked) through :class:`MemoryBackend`.  The machine selects a backend
+by name from a registry, so alternative device models (a DDR model, a
+remote simulator bridge, a statistics-only stub) plug in without
+touching the pipeline:
 
 >>> from repro.hbm import register_backend, create_backend
->>> backend = create_backend("fast", hbm2_config(), max_inflight=64)
+>>> backend = create_backend("vector", hbm2_config(), max_inflight=64)
 >>> stats = backend.simulate_decoded(decoded)
 """
 
@@ -45,8 +47,12 @@ class MemoryBackend(Protocol):
     ) -> RunStats:
         """Run an already-decoded request stream.
 
-        ``forced_miss`` (optional boolean mask) marks ECC-retry
-        requests that must be charged the full row-miss cost.
+        ``decoded`` is a :class:`DecodedTrace` or — for the built-in
+        tiers — an iterable of chunks (the streaming path; chunking is
+        bit-identical to whole-trace simulation for every backend).
+        ``forced_miss`` (optional boolean mask, whole-trace form only)
+        marks ECC-retry requests that must be charged the full
+        row-miss cost.
         """
         ...  # pragma: no cover - protocol
 
@@ -85,9 +91,11 @@ def _register_builtins() -> None:
     # model modules import decode, which imports config only.
     from repro.hbm.device import HBMDevice
     from repro.hbm.fastmodel import WindowModel
+    from repro.hbm.vectormodel import VectorModel
 
     register_backend("fast", WindowModel)
     register_backend("event", HBMDevice)
+    register_backend("vector", VectorModel)
 
 
 _register_builtins()

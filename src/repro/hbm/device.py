@@ -55,21 +55,32 @@ class HBMDevice:
         return self.simulate_decoded(decode_trace(ha, self.config))
 
     def simulate_decoded(
-        self, decoded: DecodedTrace, forced_miss: np.ndarray | None = None
+        self,
+        decoded: DecodedTrace,
+        forced_miss: np.ndarray | None = None,
     ) -> RunStats:
         """Run an already-decoded request stream (the fused datapath).
 
-        ``forced_miss`` (optional boolean mask, one flag per access)
-        marks ECC-retry requests that must pay the full miss cost.
+        ``decoded`` may be a single :class:`DecodedTrace` or an
+        iterable of chunks — the event loop consumes requests one at a
+        time, so chunked input is bit-identical to the whole trace and
+        needs no re-decoding (only one chunk is live at a time).
+        ``forced_miss`` (optional boolean mask, one flag per access,
+        whole-trace form only) marks ECC-retry requests that must pay
+        the full miss cost.
         """
-        n = len(decoded)
+        if isinstance(decoded, DecodedTrace):
+            if forced_miss is not None:
+                forced_miss = np.asarray(forced_miss, dtype=bool)
+            chunks = iter([(decoded, forced_miss)])
+        else:
+            if forced_miss is not None:
+                raise SimulationError(
+                    "forced_miss requires a whole DecodedTrace, not chunks"
+                )
+            chunks = ((chunk, None) for chunk in decoded)
         channels = self._new_channels()
         num_channels = self.config.num_channels
-        if n == 0:
-            zeros = np.zeros(num_channels)
-            return RunStats(0, 0, 0.0, 0, 0, num_channels, zeros, zeros)
-        if forced_miss is not None:
-            forced_miss = np.asarray(forced_miss, dtype=bool)
 
         completions: list[float] = []
         makespan = 0.0
@@ -95,30 +106,37 @@ class HBMDevice:
             heapq.heappush(completions, done)
             makespan = max(makespan, done)
 
+        n = 0
         work_remaining = 0
-        for index in range(n):
-            # Admission control: wait for a window slot.
-            while issued - completed >= self.max_inflight:
-                if not completions:
-                    serve_one()
-                    work_remaining -= 1
-                else:
-                    admit_time = max(admit_time, heapq.heappop(completions))
-                    completed += 1
-            channel = channels[decoded.channel[index]]
-            channel.enqueue(
-                ChannelRequest(
-                    index=index,
-                    bank=int(decoded.bank[index]),
-                    row=int(decoded.row[index]),
-                    arrival_ns=admit_time,
-                    forced_miss=bool(forced_miss[index])
-                    if forced_miss is not None
-                    else False,
+        for chunk, chunk_forced in chunks:
+            for index in range(len(chunk)):
+                # Admission control: wait for a window slot.
+                while issued - completed >= self.max_inflight:
+                    if not completions:
+                        serve_one()
+                        work_remaining -= 1
+                    else:
+                        admit_time = max(admit_time, heapq.heappop(completions))
+                        completed += 1
+                channel = channels[chunk.channel[index]]
+                channel.enqueue(
+                    ChannelRequest(
+                        index=n + index,
+                        bank=int(chunk.bank[index]),
+                        row=int(chunk.row[index]),
+                        arrival_ns=admit_time,
+                        forced_miss=bool(chunk_forced[index])
+                        if chunk_forced is not None
+                        else False,
+                    )
                 )
-            )
-            issued += 1
-            work_remaining += 1
+                issued += 1
+                work_remaining += 1
+            n += len(chunk)
+
+        if n == 0:
+            zeros = np.zeros(num_channels)
+            return RunStats(0, 0, 0.0, 0, 0, num_channels, zeros, zeros)
 
         while work_remaining > 0:
             serve_one()

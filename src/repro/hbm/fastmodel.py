@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.hbm.config import HBMConfig
-from repro.hbm.decode import DecodedTrace, decode_trace
+from repro.hbm.decode import DecodedTrace, concat_decoded, decode_trace
 from repro.hbm.stats import RunStats
 
 __all__ = ["WindowModel", "row_hit_mask"]
@@ -96,11 +96,21 @@ class WindowModel:
     ) -> RunStats:
         """Run an already-decoded request stream (the fused datapath).
 
+        ``decoded`` may be a single :class:`DecodedTrace` or an
+        iterable of chunks; the analytic batch rule needs the whole
+        per-bank sequence, so chunks are concatenated (bit-identical,
+        the streaming interface is shared with the other tiers).
         ``forced_miss`` (optional boolean mask, one flag per access)
         marks requests whose row buffer cannot be trusted — ECC retries
         on degraded hardware — and charges them the full miss cost
         regardless of locality.
         """
+        if not isinstance(decoded, DecodedTrace):
+            if forced_miss is not None:
+                raise SimulationError(
+                    "forced_miss requires a whole DecodedTrace, not chunks"
+                )
+            decoded = concat_decoded(decoded)
         n = len(decoded)
         channels = self.config.num_channels
         if n == 0:

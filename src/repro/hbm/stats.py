@@ -35,6 +35,53 @@ class RunStats:
     per_channel_requests: np.ndarray = field(repr=False)
     per_channel_busy_ns: np.ndarray = field(repr=False)
 
+    @classmethod
+    def empty(cls, num_channels: int) -> "RunStats":
+        """The merge identity: an all-zero stats for ``num_channels``."""
+        return cls(
+            requests=0,
+            bytes_moved=0,
+            makespan_ns=0.0,
+            row_hits=0,
+            row_misses=0,
+            num_channels=num_channels,
+            per_channel_requests=np.zeros(num_channels, dtype=np.int64),
+            per_channel_busy_ns=np.zeros(num_channels, dtype=np.float64),
+        )
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Combine stats from disjoint shards of one run.
+
+        Counters add, per-channel arrays add elementwise, and the
+        makespan takes the max (shards of one run share the time
+        origin).  Lawful: associative, commutative, with
+        :meth:`empty` as identity — so a sharded backend reduces its
+        per-channel partials to the same result for any shard count or
+        reduction order, as long as shards own disjoint channels.
+        """
+        if self.num_channels != other.num_channels:
+            raise ValueError(
+                "cannot merge RunStats with different channel counts: "
+                f"{self.num_channels} != {other.num_channels}"
+            )
+        return RunStats(
+            requests=self.requests + other.requests,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            makespan_ns=max(self.makespan_ns, other.makespan_ns),
+            row_hits=self.row_hits + other.row_hits,
+            row_misses=self.row_misses + other.row_misses,
+            num_channels=self.num_channels,
+            per_channel_requests=self.per_channel_requests
+            + other.per_channel_requests,
+            per_channel_busy_ns=self.per_channel_busy_ns
+            + other.per_channel_busy_ns,
+        )
+
+    def __add__(self, other: "RunStats") -> "RunStats":
+        if not isinstance(other, RunStats):
+            return NotImplemented
+        return self.merge(other)
+
     @property
     def throughput_gbps(self) -> float:
         """GB/s (bytes per nanosecond)."""
@@ -150,6 +197,27 @@ class RemapTraffic:
         # the new one: two line transfers per copied line.
         self.bytes_moved += 2 * int(report.lines_copied) * int(line_bytes)
         self.migration_ns += float(report.cost_ns)
+
+    def merge(self, other: "RemapTraffic") -> "RemapTraffic":
+        """Combine counters from independent campaign shards (all add)."""
+        return RemapTraffic(
+            remaps=self.remaps + other.remaps,
+            failed_remaps=self.failed_remaps + other.failed_remaps,
+            rollback_migrations=self.rollback_migrations
+            + other.rollback_migrations,
+            chunks_migrated=self.chunks_migrated + other.chunks_migrated,
+            lines_copied=self.lines_copied + other.lines_copied,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            migration_ns=self.migration_ns + other.migration_ns,
+            cmt_writes=self.cmt_writes + other.cmt_writes,
+            amu_reprograms=self.amu_reprograms + other.amu_reprograms,
+            reprogram_ns=self.reprogram_ns + other.reprogram_ns,
+        )
+
+    def __add__(self, other: "RemapTraffic") -> "RemapTraffic":
+        if not isinstance(other, RemapTraffic):
+            return NotImplemented
+        return self.merge(other)
 
     @property
     def overhead_ns(self) -> float:

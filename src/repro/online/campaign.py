@@ -34,7 +34,7 @@ from repro.core.bitshuffle import select_window_permutation
 from repro.core.chunks import ChunkGeometry
 from repro.core.sdam import SDAMController
 from repro.hbm.config import HBMConfig, hbm2_config
-from repro.hbm.fastmodel import WindowModel
+from repro.hbm.backend import create_backend
 from repro.mem.kernel import Kernel
 from repro.mem.malloc import MappingAwareAllocator
 from repro.online.controller import AdaptiveController
@@ -155,7 +155,7 @@ def _serve_static(
     pa: np.ndarray,
     perm,
     geometry: ChunkGeometry,
-    model: WindowModel,
+    model,
     window_accesses: int,
 ) -> float:
     """Aggregate per-window service time under one frozen mapping."""
@@ -175,11 +175,15 @@ def run_adaptive_campaign(
     window_accesses: int = 2048,
     workload: Workload | None = None,
     controller_kwargs: dict | None = None,
+    backend: str = "fast",
 ) -> AdaptiveCampaignResult:
     """Run the seeded adaptive-vs-static campaign.
 
     ``quick`` shrinks the trace and the buffer (one chunk instead of
     two) for smoke runs; the experiment's structure is unchanged.
+    ``backend`` selects the memory fidelity tier the windows (adaptive
+    and static alike) are scored through, and the default policy's
+    benefit probes with it.
     """
     started = time.perf_counter()
     hbm = config or hbm2_config()
@@ -194,12 +198,14 @@ def run_adaptive_campaign(
                 buffer_bytes=4 * 1024 * 1024, accesses_per_phase=98304
             )
         )
-    model = WindowModel(hbm, max_inflight=64)
+    model = create_backend(backend, hbm, max_inflight=64)
 
     # -- adaptive machine ---------------------------------------------------
     kernel, pa = _build_stack(workload, geometry, seed)
+    controller_kwargs = dict(controller_kwargs or {})
+    controller_kwargs.setdefault("backend", backend)
     controller = AdaptiveController(
-        kernel, mapping_id=0, hbm=hbm, **(controller_kwargs or {})
+        kernel, mapping_id=0, hbm=hbm, **controller_kwargs
     )
     adaptive_service = 0.0
     windows = 0
@@ -242,7 +248,7 @@ def run_adaptive_campaign(
     )
     stat_kernel, stat_pa = _build_stack(stationary, geometry, seed)
     stat_controller = AdaptiveController(
-        stat_kernel, mapping_id=0, hbm=hbm, **(controller_kwargs or {})
+        stat_kernel, mapping_id=0, hbm=hbm, **controller_kwargs
     )
     for window in _windows(stat_pa, window_accesses):
         stat_controller.observe(window)

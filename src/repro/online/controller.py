@@ -66,6 +66,9 @@ class AdaptiveController:
     policy:
         A :class:`~repro.online.policy.RemapPolicy`; built with
         defaults when omitted.
+    backend:
+        Memory fidelity tier for the default policy's benefit probes
+        (ignored when an explicit ``policy`` is passed).
     on_copy:
         Optional ``(pa_lines, read_has, write_has)`` hook forwarded to
         every chunk migration — the RAS layer moves modeled device
@@ -83,6 +86,7 @@ class AdaptiveController:
         metric: str = "l1",
         policy: RemapPolicy | None = None,
         on_copy=None,
+        backend: str = "fast",
     ):
         if kernel.sdam is None:
             raise ProfilingError("adaptive remapping requires an SDAM kernel")
@@ -98,7 +102,9 @@ class AdaptiveController:
         self.detector = PhaseDetector(
             threshold=threshold, persistence=persistence, metric=metric
         )
-        self.policy = policy or RemapPolicy(self.hbm, self.geometry)
+        self.policy = policy or RemapPolicy(
+            self.hbm, self.geometry, backend=backend
+        )
         self.migrator = ChunkMigrator(kernel, self.hbm)
         self.traffic = RemapTraffic()
         self.on_copy = on_copy

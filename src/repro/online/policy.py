@@ -27,7 +27,7 @@ from repro.core.amu import AddressMappingUnit
 from repro.core.chunks import ChunkGeometry
 from repro.errors import ProfilingError
 from repro.hbm.config import HBMConfig
-from repro.hbm.fastmodel import WindowModel
+from repro.hbm.backend import create_backend
 
 __all__ = ["RemapDecision", "RemapPolicy", "CMT_WRITE_NS", "AMU_REPROGRAM_NS"]
 
@@ -79,6 +79,9 @@ class RemapPolicy:
         over budget declines further remaps.
     probe_accesses:
         Cap on the replayed window length for the benefit probe.
+    backend:
+        Memory fidelity tier the benefit probes replay through (a
+        registered backend name; ``"fast"`` by default).
     """
 
     def __init__(
@@ -91,6 +94,7 @@ class RemapPolicy:
         max_remaps_per_chunk: int = 8,
         probe_accesses: int = 4096,
         max_inflight: int = 64,
+        backend: str = "fast",
     ):
         if horizon_windows < 1:
             raise ProfilingError("horizon_windows must be >= 1")
@@ -103,7 +107,8 @@ class RemapPolicy:
         self.cooldown_windows = cooldown_windows
         self.max_remaps_per_chunk = max_remaps_per_chunk
         self.probe_accesses = probe_accesses
-        self._model = WindowModel(hbm, max_inflight=max_inflight)
+        self.backend = backend
+        self._model = create_backend(backend, hbm, max_inflight=max_inflight)
         self._amu = AddressMappingUnit(geometry.window_bits)
 
     # -- pieces -------------------------------------------------------------

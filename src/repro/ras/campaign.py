@@ -42,7 +42,7 @@ from repro.faults.sites import (
 )
 from repro.hbm.config import HBMConfig
 from repro.hbm.decode import decode_trace
-from repro.hbm.fastmodel import WindowModel
+from repro.hbm.backend import create_backend
 from repro.hbm.stats import DeviceHealth
 from repro.mem.kernel import Kernel
 from repro.mem.migration import ChunkMigrator
@@ -96,6 +96,7 @@ class RASMachine:
         geometry: ChunkGeometry | None = None,
         seed: int = 0,
         plan: DeviceFaultPlan | None = None,
+        backend: str = "fast",
     ):
         self.config = config or small_ras_config()
         self.geometry = geometry or ChunkGeometry(
@@ -108,7 +109,8 @@ class RASMachine:
         self.sdam = SDAMController(self.geometry)
         self.kernel = Kernel(self.geometry, sdam=self.sdam)
         self.migrator = ChunkMigrator(self.kernel, hbm=self.config)
-        self.backend = WindowModel(self.config)
+        self.backend_name = backend
+        self.backend = create_backend(backend, self.config)
         self.storage = DeviceStorage()
         self.health = DeviceHealth(
             self.config.num_channels, self.config.banks_per_channel
@@ -363,10 +365,15 @@ def _build_machine(
     geometry: ChunkGeometry,
     plan: DeviceFaultPlan | None,
     extra_mappings: int,
+    backend: str = "fast",
 ):
     """One machine + its mapping ids; same seed => identical twin."""
     machine = RASMachine(
-        config=config, geometry=geometry, seed=seed, plan=plan
+        config=config,
+        geometry=geometry,
+        seed=seed,
+        plan=plan,
+        backend=backend,
     )
     rng = np.random.default_rng(seed + 11)
     ids = [0]
@@ -559,13 +566,15 @@ def run_campaign(
     quick: bool = True,
     config: HBMConfig | None = None,
     geometry: ChunkGeometry | None = None,
+    backend: str = "fast",
 ) -> CampaignResult:
     """Inject a seeded multi-fault sequence and prove it was handled.
 
     Builds twin machines, writes an initial dataset, injects one fault
     per requested kind (staggered so each is detected before the next
     strikes), patrol-scrubs every batch, and finally compares the twins
-    line by line over the surviving address space.
+    line by line over the surviving address space.  ``backend`` selects
+    the memory fidelity tier both twins charge their accesses against.
     """
     config = config or small_ras_config()
     geometry = geometry or ChunkGeometry(total_bytes=config.total_bytes)
@@ -573,8 +582,8 @@ def run_campaign(
     writes_per_batch = 128 if quick else 256
     rng = np.random.default_rng(seed)
 
-    faulty, ids = _build_machine(seed, config, geometry, None, 2)
-    clean, _ids = _build_machine(seed, config, geometry, None, 2)
+    faulty, ids = _build_machine(seed, config, geometry, None, 2, backend)
+    clean, _ids = _build_machine(seed, config, geometry, None, 2, backend)
     vma_specs = [
         (mid, pages_per_vma * geometry.page_bytes) for mid in ids
     ]

@@ -34,9 +34,16 @@ from repro.hbm.decode import DecodedTrace, decode_translated
 from repro.hbm.fastmodel import WindowModel
 from repro.profiling.bfrv import bit_flip_rate_vector
 
-__all__ = ["run_benchmark", "write_report", "DEFAULT_REPORT_PATH"]
+__all__ = [
+    "run_benchmark",
+    "run_evaluate_benchmark",
+    "write_report",
+    "DEFAULT_REPORT_PATH",
+    "EVALUATE_REPORT_PATH",
+]
 
 DEFAULT_REPORT_PATH = "BENCH_translation.json"
+EVALUATE_REPORT_PATH = "BENCH_evaluate.json"
 SCENARIOS = ("bs_dm", "bs_bsm", "bs_hm", "sdm_bsm")
 STAGES = ("translate", "decode", "translate_decode", "evaluate")
 
@@ -262,6 +269,112 @@ def run_benchmark(
         "unix_time": time.time(),
         "cells": cells,
         "summary_speedup_geomean": summary,
+    }
+
+
+def run_evaluate_benchmark(
+    accesses: int = 200_000,
+    seed: int = 0,
+    repeats: int = 2,
+    config: HBMConfig | None = None,
+    scenarios: tuple[str, ...] = SCENARIOS,
+    backend: str = "vector",
+    workers: int = 0,
+    chunk_accesses: int = 1 << 16,
+) -> dict:
+    """Time end-to-end ``evaluate`` under the event reference vs ``backend``.
+
+    The companion of :func:`run_benchmark` for the memory-model wall:
+    the *baseline* is the pre-vectorization event-loop evaluate
+    (fused translate+decode feeding :class:`~repro.hbm.device.
+    HBMDevice`), the *candidate* is the chunk-streamed ``backend`` tier
+    (``"vector"`` by default, optionally channel-sharded over
+    ``workers`` processes).  The headline number — the acceptance gate —
+    is ``summary_speedup_geomean.evaluate``.
+
+    Each cell also records a calibration block (makespan ratio,
+    throughput ratio, row-hit-rate delta of candidate vs event) so the
+    speedup is never reported detached from the fidelity it was bought
+    at; the hard per-scenario bands live in
+    ``tests/hbm/test_calibration.py``.
+    """
+    from repro.hbm.backend import create_backend
+    from repro.hbm.decode import iter_decoded_chunks
+
+    config = config or hbm2_config()
+    rng = np.random.default_rng(seed)
+    line = config.line_bytes
+    pa = (
+        rng.integers(0, config.total_bytes // line, accesses, dtype=np.uint64)
+        * np.uint64(line)
+    )
+    baseline_model = create_backend("event", config, max_inflight=64)
+    candidate_kwargs: dict = {"max_inflight": 64}
+    if workers:
+        candidate_kwargs["workers"] = workers
+    candidate_model = create_backend(backend, config, **candidate_kwargs)
+    cells: dict[str, dict] = {}
+    for scenario in scenarios:
+        translator = _build_translator(scenario, config, pa, seed)
+
+        def run_baseline():
+            return baseline_model.simulate_decoded(
+                decode_translated(pa, translator, config)
+            )
+
+        def run_candidate():
+            return candidate_model.simulate_decoded(
+                iter_decoded_chunks(pa, translator, config, chunk_accesses)
+            )
+
+        base_stats = run_baseline()
+        cand_stats = run_candidate()
+        baseline_ns = _time_ns(run_baseline, repeats)
+        candidate_ns = _time_ns(run_candidate, repeats)
+        cells[scenario] = {
+            "evaluate": _cell(baseline_ns, candidate_ns, accesses),
+            "calibration": {
+                "makespan_ratio": cand_stats.makespan_ns
+                / base_stats.makespan_ns
+                if base_stats.makespan_ns
+                else float("inf"),
+                "throughput_ratio": cand_stats.throughput_gbps
+                / base_stats.throughput_gbps
+                if base_stats.throughput_gbps
+                else float("inf"),
+                "hit_rate_delta": cand_stats.row_hit_rate
+                - base_stats.row_hit_rate,
+                "event_makespan_ns": base_stats.makespan_ns,
+                "candidate_makespan_ns": cand_stats.makespan_ns,
+            },
+        }
+    geomean = float(
+        np.exp(
+            np.mean(
+                [
+                    np.log(cells[s]["evaluate"]["speedup"])
+                    for s in scenarios
+                ]
+            )
+        )
+    )
+    return {
+        "schema": 1,
+        "benchmark": "end-to-end-evaluate",
+        "backend": backend,
+        "workers": int(workers),
+        "chunk_accesses": int(chunk_accesses),
+        "accesses": int(accesses),
+        "seed": int(seed),
+        "repeats": int(repeats),
+        "config": {
+            "name": config.name,
+            "address_bits": config.address_bits,
+            "num_channels": config.num_channels,
+        },
+        "unix_time": time.time(),
+        "cells": cells,
+        "summary_speedup_geomean": {"evaluate": geomean},
     }
 
 

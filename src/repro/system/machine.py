@@ -39,10 +39,14 @@ from repro.core.bitshuffle import select_global_mapping
 from repro.cpu.accelerator import AcceleratorModel
 from repro.cpu.cpu import CPUModel, ExternalTraceResult
 from repro.cpu.trace import AccessTrace
-from repro.errors import ConfigError
+from repro.errors import ConfigError, warn_deprecated_once
 from repro.hbm.backend import MemoryBackend, available_backends, create_backend
 from repro.hbm.config import HBMConfig, hbm2_config
-from repro.hbm.decode import decode_trace, decode_translated
+from repro.hbm.decode import (
+    decode_trace,
+    decode_translated,
+    iter_decoded_chunks,
+)
 from repro.hbm.stats import RunStats
 from repro.mem.kernel import Kernel
 from repro.mem.malloc import MappingAwareAllocator
@@ -240,11 +244,14 @@ class Machine:
         geometry: ChunkGeometry | None = None,
         engine: str = "cpu",
         cores: int = 4,
-        memory_model: str = "fast",
+        backend: str | None = None,
+        backend_options: dict | None = None,
+        chunk_accesses: int | None = None,
         dl_config: AutoencoderConfig | None = None,
         seed: int = 0,
         chunk_colours: int = 8,
         debug_ha: bool = False,
+        memory_model: str | None = None,
     ):
         self.system = system
         self.hbm = hbm or hbm2_config()
@@ -257,22 +264,47 @@ class Machine:
             self.compute_ns_per_access = ACCEL_COMPUTE_NS_PER_ACCESS
         else:
             raise ConfigError(f"unknown engine {engine!r}")
-        if memory_model not in available_backends():
+        if memory_model is not None:
+            # Pre-redesign spelling of the backend selector.
+            warn_deprecated_once(
+                "machine.memory_model",
+                "Machine(memory_model=...) is deprecated; "
+                "use Machine(backend=...)",
+            )
+            if backend is not None and backend != memory_model:
+                raise ConfigError(
+                    "pass either backend= or the deprecated memory_model=, "
+                    "not conflicting values of both"
+                )
+            backend = memory_model
+        if backend is None:
+            backend = "fast"
+        if backend not in available_backends():
             raise ConfigError(
-                f"unknown memory model {memory_model!r}; "
+                f"unknown memory model {backend!r}; "
                 f"available: {', '.join(available_backends())}"
             )
-        self.memory_model = memory_model
+        self.backend = backend
+        self.backend_options = dict(backend_options or {})
+        self.chunk_accesses = chunk_accesses
         self.dl_config = dl_config
         self.seed = seed
         self.chunk_colours = chunk_colours
         self.debug_ha = debug_ha
         self.layout = self.hbm.layout()
 
+    @property
+    def memory_model(self) -> str:
+        """Deprecated alias for :attr:`backend`."""
+        return self.backend
+
     # -- building blocks -----------------------------------------------------
     def _memory(self) -> MemoryBackend:
         return create_backend(
-            self.memory_model, self.hbm, **self.engine.backend_hints()
+            self.backend,
+            self.hbm,
+            max_inflight=self.engine.max_inflight,
+            **self.backend_options,
         )
 
     def _allocate(
@@ -428,6 +460,25 @@ class Machine:
         if self.debug_ha:
             ha = translator.translate(pa)
             stats = backend.simulate_decoded(decode_trace(ha, self.hbm))
+        elif self.chunk_accesses is not None or self.backend == "vector":
+            # Streaming evaluate: decoded chunks flow straight into the
+            # backend, so the decoded trace never fully materialises.
+            # Chunking is bit-identical to whole-trace simulation for
+            # every built-in tier (tested), so this only changes peak
+            # memory.  Opt-in via ``chunk_accesses`` for fast/event;
+            # the vector tier streams by default.
+            stats = backend.simulate_decoded(
+                iter_decoded_chunks(
+                    pa,
+                    translator,
+                    self.hbm,
+                    **(
+                        {"chunk_accesses": self.chunk_accesses}
+                        if self.chunk_accesses is not None
+                        else {}
+                    ),
+                )
+            )
         else:
             stats = backend.simulate_decoded(
                 decode_translated(pa, translator, self.hbm)
@@ -465,6 +516,7 @@ class Machine:
             quick=quick,
             config=self.hbm,
             geometry=self.geometry,
+            backend=self.backend,
         )
 
     # -- online adaptation ------------------------------------------------------
@@ -485,4 +537,5 @@ class Machine:
             quick=quick,
             config=self.hbm,
             geometry=self.geometry,
+            backend=self.backend,
         )

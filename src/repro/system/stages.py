@@ -58,8 +58,13 @@ __all__ = [
     "sweep_cache_key",
 ]
 
-STAGE_VERSION = 1
-"""Bump to invalidate every cached stage after a semantic change."""
+STAGE_VERSION = 2
+"""Bump to invalidate every cached stage after a semantic change.
+
+v2: the backend-selection redesign renamed ``MachineParams.
+memory_model`` to ``backend`` — dataclass field names feed the stable
+hash, so every stage key moved.
+"""
 
 
 @dataclass(frozen=True)
@@ -71,14 +76,33 @@ class MachineParams:
     geometry: ChunkGeometry | None = None
     engine: str = "cpu"
     cores: int = 4
-    memory_model: str = "fast"
+    backend: str = "fast"
     dl_config: AutoencoderConfig | None = None
     seed: int = 0
     chunk_colours: int = 8
 
     @classmethod
     def from_kwargs(cls, system: SystemConfig, **machine_kwargs) -> "MachineParams":
-        """Build params from ``Machine(...)`` keyword arguments."""
+        """Build params from ``Machine(...)`` keyword arguments.
+
+        Accepts the deprecated ``memory_model`` spelling (the
+        :class:`~repro.system.machine.Machine` shim warns on it).
+        """
+        if "memory_model" in machine_kwargs:
+            from repro.errors import ConfigError, warn_deprecated_once
+
+            warn_deprecated_once(
+                "machine.memory_model",
+                "memory_model= is deprecated; use backend=",
+            )
+            legacy = machine_kwargs.pop("memory_model")
+            chosen = machine_kwargs.get("backend")
+            if chosen is not None and chosen != legacy:
+                raise ConfigError(
+                    "pass either backend= or the deprecated memory_model=, "
+                    "not conflicting values of both"
+                )
+            machine_kwargs["backend"] = legacy
         return cls(system=system, **machine_kwargs)
 
     def with_system(self, system: SystemConfig) -> "MachineParams":
@@ -93,7 +117,7 @@ class MachineParams:
             geometry=self.geometry,
             engine=self.engine,
             cores=self.cores,
-            memory_model=self.memory_model,
+            backend=self.backend,
             dl_config=self.dl_config,
             seed=self.seed,
             chunk_colours=self.chunk_colours,
