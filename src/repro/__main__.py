@@ -27,12 +27,14 @@ without writing any code:
   faults (stuck rows, dead banks/channels, CMT/AMU upsets), detect
   them, repair by software-defined remapping, and verify zero silent
   corruption against a never-faulted twin machine (``--out`` writes
-  the RASReport JSON for CI artifacts);
+  the RASReport JSON for CI artifacts; ``--guard`` cross-checks the
+  backend against the event reference, ``--checkpoint``/``--resume``
+  make the campaign crash-safe);
 * ``adapt``   — seeded online-adaptation campaign: a phase-shifting
   workload served live while the adaptive controller detects phase
   changes and migrates mappings, scored against every relevant static
   mapping (``--min-speedup`` gates CI, ``--out`` writes the campaign
-  JSON).
+  JSON; ``--guard`` and ``--checkpoint``/``--resume`` as for ``ras``).
 """
 
 from __future__ import annotations
@@ -300,14 +302,28 @@ def cmd_adapt(args) -> int:
     """Run the seeded online-adaptation campaign; optionally write JSON."""
     import json
 
+    from repro.errors import CampaignInterrupted
     from repro.online.campaign import run_adaptive_campaign
 
-    result = run_adaptive_campaign(
-        seed=args.seed,
-        quick=not args.full,
-        window_accesses=args.window,
-        backend=args.backend or "fast",
-    )
+    try:
+        result = run_adaptive_campaign(
+            seed=args.seed,
+            quick=not args.full,
+            window_accesses=args.window,
+            backend=args.backend or "fast",
+            guard=args.guard,
+            guard_sample=args.guard_sample,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            stop_after_window=args.stop_after,
+        )
+    except CampaignInterrupted as stop:
+        print(
+            f"campaign interrupted: {stop} "
+            f"(resume with --checkpoint {stop.checkpoint_path} --resume)",
+            file=sys.stderr,
+        )
+        return 3
     payload = result.to_dict()
     if args.out:
         with open(args.out, "w") as fh:
@@ -401,15 +417,29 @@ def cmd_ras(args) -> int:
     """Run a seeded device-fault RAS campaign; optionally write JSON."""
     import json
 
+    from repro.errors import CampaignInterrupted
     from repro.ras.campaign import ALL_KINDS, run_campaign
 
     kinds = tuple(args.kinds.split(",")) if args.kinds else ALL_KINDS
-    result = run_campaign(
-        seed=args.seed,
-        kinds=kinds,
-        quick=not args.full,
-        backend=args.backend or "fast",
-    )
+    try:
+        result = run_campaign(
+            seed=args.seed,
+            kinds=kinds,
+            quick=not args.full,
+            backend=args.backend or "fast",
+            guard=args.guard,
+            guard_sample=args.guard_sample,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            stop_after_batch=args.stop_after,
+        )
+    except CampaignInterrupted as stop:
+        print(
+            f"campaign interrupted: {stop} "
+            f"(resume with --checkpoint {stop.checkpoint_path} --resume)",
+            file=sys.stderr,
+        )
+        return 3
     payload = result.to_dict()
     if args.out:
         with open(args.out, "w") as fh:
@@ -425,6 +455,42 @@ def cmd_ras(args) -> int:
             print(f"error: {problem}", file=sys.stderr)
         return 1
     return 0
+
+
+def _add_campaign_flags(parser, unit: str) -> None:
+    """The guarded-execution / checkpoint flags shared by ras and adapt."""
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="wrap the backend in the cross-tier divergence guard "
+        "(sampled chunks replayed through the event reference; "
+        "divergence demotes to the reference tier)",
+    )
+    parser.add_argument(
+        "--guard-sample",
+        type=float,
+        default=None,
+        help="fraction of chunks the guard replays (default 0.05)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="persist campaign progress to this file so a killed run "
+        "can be resumed bit-identically",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the campaign from --checkpoint instead of starting "
+        "fresh",
+    )
+    parser.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        help=f"deterministically stop after N {unit} (testing/CI hook; "
+        "requires --checkpoint; exits 3 with a resumable checkpoint)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -566,6 +632,7 @@ def main(argv: list[str] | None = None) -> int:
         help="memory fidelity tier both twins run on "
         "(fast | vector | event; default fast)",
     )
+    _add_campaign_flags(ras, "fault batches")
     adapt = sub.add_parser(
         "adapt", help="seeded online-adaptation campaign (adaptive vs static)"
     )
@@ -599,6 +666,7 @@ def main(argv: list[str] | None = None) -> int:
         help="memory fidelity tier windows are scored through "
         "(fast | vector | event; default fast)",
     )
+    _add_campaign_flags(adapt, "trace windows")
     args = parser.parse_args(argv)
     handlers = {
         "demo": cmd_demo,

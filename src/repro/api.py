@@ -190,11 +190,25 @@ class Session:
         )
 
     # -- the API -------------------------------------------------------------
-    def _machine_kwargs(self, backend: str | None) -> dict:
-        """Session-wide machine kwargs, with a per-call backend override."""
+    def _machine_kwargs(
+        self,
+        backend: str | None,
+        guard: bool | None = None,
+        guard_sample: float | None = None,
+    ) -> dict:
+        """Session-wide machine kwargs, with per-call overrides.
+
+        ``backend`` picks the memory fidelity tier for one call;
+        ``guard``/``guard_sample`` switch the cross-tier divergence
+        guard on (or off) for one call without rebuilding the session.
+        """
         kwargs = dict(self.machine_kwargs)
         if backend is not None:
             kwargs["backend"] = backend
+        if guard is not None:
+            kwargs["guard"] = guard
+        if guard_sample is not None:
+            kwargs["guard_sample"] = guard_sample
         return kwargs
 
     def run(
@@ -205,19 +219,25 @@ class Session:
         profile_seed: int = 0,
         eval_seed: int = 1,
         backend: str | None = None,
+        guard: bool | None = None,
+        guard_sample: float | None = None,
     ) -> MachineResult:
         """One workload under one system, cached.
 
         ``backend`` selects the memory fidelity tier (``"fast"``,
         ``"vector"``, ``"event"``) for this call, overriding the
-        session-wide machine configuration.
+        session-wide machine configuration.  ``guard=True`` wraps the
+        chosen tier in a :class:`~repro.hbm.guard.GuardedBackend` that
+        replays a deterministic sample of chunks through the
+        event-driven reference and demotes (or raises) on divergence;
+        the verdict rides on ``result.backend_health``.
         """
         return self.runner.run_one(
             workload,
             _resolve_system(system),
             profile_seed=profile_seed,
             eval_seed=eval_seed,
-            **self._machine_kwargs(backend),
+            **self._machine_kwargs(backend, guard, guard_sample),
         )
 
     def compare(
@@ -233,6 +253,8 @@ class Session:
         profile_seed: int = 0,
         eval_seed: int = 1,
         backend: str | None = None,
+        guard: bool | None = None,
+        guard_sample: float | None = None,
     ) -> dict[str, MachineResult]:
         """One workload under several systems, keyed by the *caller's*
         system key (so duplicate labels cannot collide)."""
@@ -246,6 +268,8 @@ class Session:
                 profile_seed=profile_seed,
                 eval_seed=eval_seed,
                 backend=backend,
+                guard=guard,
+                guard_sample=guard_sample,
             )
         return results
 
@@ -258,6 +282,8 @@ class Session:
         eval_seed: int = 1,
         resume: bool = False,
         backend: str | None = None,
+        guard: bool | None = None,
+        guard_sample: float | None = None,
     ) -> SuiteResult:
         """Every workload under every system: cached, parallel, and
         failure-isolated.
@@ -280,7 +306,7 @@ class Session:
             profile_seed=profile_seed,
             eval_seed=eval_seed,
             resume=resume,
-            **self._machine_kwargs(backend),
+            **self._machine_kwargs(backend, guard, guard_sample),
         )
 
     def full_evaluation(self, *, quick: bool = True) -> SuiteResult:
@@ -302,6 +328,10 @@ class Session:
         *,
         quick: bool = True,
         backend: str | None = None,
+        guard: bool | None = None,
+        guard_sample: float | None = None,
+        checkpoint_path: str | None = None,
+        resume: bool = False,
     ):
         """Seeded device-fault campaign: inject, detect, repair, verify.
 
@@ -323,6 +353,22 @@ class Session:
         chosen = backend or self.machine_kwargs.get("backend")
         if chosen is not None:
             overrides["backend"] = chosen
+        wants_guard = (
+            guard if guard is not None
+            else bool(self.machine_kwargs.get("guard"))
+        )
+        if wants_guard:
+            overrides["guard"] = True
+            chosen_sample = (
+                guard_sample
+                if guard_sample is not None
+                else self.machine_kwargs.get("guard_sample")
+            )
+            if chosen_sample is not None:
+                overrides["guard_sample"] = chosen_sample
+        if checkpoint_path is not None:
+            overrides["checkpoint_path"] = checkpoint_path
+            overrides["resume"] = resume
         return run_campaign(
             seed=seed, kinds=kinds or ALL_KINDS, quick=quick, **overrides
         )
@@ -333,6 +379,10 @@ class Session:
         *,
         quick: bool = True,
         backend: str | None = None,
+        guard: bool | None = None,
+        guard_sample: float | None = None,
+        checkpoint_path: str | None = None,
+        resume: bool = False,
         **campaign_kwargs,
     ) -> AdaptiveCampaignResult:
         """Seeded online-adaptation campaign: adaptive vs best static.
@@ -352,6 +402,22 @@ class Session:
         chosen = backend or self.machine_kwargs.get("backend")
         if chosen is not None:
             overrides.setdefault("backend", chosen)
+        wants_guard = (
+            guard if guard is not None
+            else bool(self.machine_kwargs.get("guard"))
+        )
+        if wants_guard:
+            overrides.setdefault("guard", True)
+            chosen_sample = (
+                guard_sample
+                if guard_sample is not None
+                else self.machine_kwargs.get("guard_sample")
+            )
+            if chosen_sample is not None:
+                overrides.setdefault("guard_sample", chosen_sample)
+        if checkpoint_path is not None:
+            overrides.setdefault("checkpoint_path", checkpoint_path)
+            overrides.setdefault("resume", resume)
         return run_adaptive_campaign(seed=seed, quick=quick, **overrides)
 
 

@@ -111,9 +111,52 @@ class RetryExhaustedError(ReproError):
     """A transient failure persisted through every allowed attempt."""
 
 
+class BackendExecutionError(SimulationError):
+    """A memory backend's guarded execution could not be completed.
+
+    Raised when every recovery path for a sharded run — per-shard
+    retries, re-dispatch, shard-granular serial fallback — has been
+    exhausted.  The attached :class:`~repro.hbm.stats.BackendHealth`
+    (``health``) records every degradation attempted on the way down.
+    """
+
+    def __init__(self, message: str, health=None):
+        super().__init__(message)
+        self.health = health
+
+
+class BackendDivergenceError(SimulationError):
+    """The runtime divergence guard found a cross-tier mismatch.
+
+    Raised in ``mode="raise"`` when a sampled decoded chunk replayed
+    through the reference tier disagrees with the primary tier beyond
+    the declared tolerance (in ``mode="demote"`` the run degrades to
+    the reference tier instead).  ``report`` is the structured
+    divergence report (sampled chunk, both tiers' numbers, the
+    tolerance band violated).
+    """
+
+    def __init__(self, message: str, report: dict | None = None):
+        super().__init__(message)
+        self.report = dict(report or {})
+
+
 class RASError(ReproError):
     """The RAS subsystem was misused or could not complete a repair."""
 
 
 class DeviceFaultError(RASError):
     """A device fault specification is malformed (bad site, bad target)."""
+
+
+class CampaignInterrupted(ReproError):
+    """A long-running campaign stopped at a checkpoint before finishing.
+
+    Raised by the deterministic ``stop_after`` test/CI hook (modelling
+    a mid-campaign kill) after the checkpoint has been persisted;
+    ``checkpoint_path`` names the file a ``resume`` run continues from.
+    """
+
+    def __init__(self, message: str, checkpoint_path: str | None = None):
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path

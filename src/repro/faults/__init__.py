@@ -1,17 +1,22 @@
 """Deterministic fault injection for resilience testing.
 
-Two injectors share the site namespace of :mod:`repro.faults.sites`:
+Three site families share the namespace of :mod:`repro.faults.sites`:
 
 * the experiment engine's failure paths — corrupt cache entries,
   crashing workers, stalled cells, broken process pools — exercised
   through :class:`FaultPlan` (see :mod:`repro.faults.plan`);
 * modeled-hardware failures — stuck rows, dead banks, lost channels,
   CMT bit flips, AMU misprogramming — exercised through the
-  ``device.*`` family and :class:`repro.ras.DeviceFaultPlan`.
+  ``device.*`` family and :class:`repro.ras.DeviceFaultPlan`;
+* guarded backend execution — shard crashes/stalls, corrupted shard
+  stats, forced cross-tier divergence — exercised through the
+  ``backend.*`` family, fired by the same :class:`FaultPlan` inside
+  the shard supervisor and the divergence guard.
 """
 
 from repro.faults.plan import ENV_VAR, FAULT_KINDS, FaultPlan, FaultSpec
 from repro.faults.sites import (
+    BACKEND_SITES,
     DEVICE_SITES,
     ENGINE_SITES,
     KNOWN_SITES,
@@ -19,6 +24,7 @@ from repro.faults.sites import (
 )
 
 __all__ = [
+    "BACKEND_SITES",
     "DEVICE_SITES",
     "ENGINE_SITES",
     "ENV_VAR",

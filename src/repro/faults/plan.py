@@ -33,7 +33,11 @@ from pathlib import Path
 
 from repro.core.keys import stable_hash
 from repro.errors import ConfigError, WorkerCrashError
-from repro.faults.sites import ENGINE_SITES, matches_known_site
+from repro.faults.sites import (
+    BACKEND_SITES,
+    ENGINE_SITES,
+    matches_known_site,
+)
 
 __all__ = ["ENV_VAR", "FAULT_KINDS", "FaultPlan", "FaultSpec"]
 
@@ -75,7 +79,10 @@ class FaultSpec:
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{FAULT_KINDS}"
             )
-        if not matches_known_site(self.site, family="engine"):
+        if not (
+            matches_known_site(self.site, family="engine")
+            or matches_known_site(self.site, family="backend")
+        ):
             hint = (
                 "; device.* sites are injected through "
                 "repro.ras.DeviceFaultPlan, not the engine FaultPlan"
@@ -83,8 +90,9 @@ class FaultSpec:
                 else ""
             )
             raise ConfigError(
-                f"fault site pattern {self.site!r} matches no engine fault "
-                f"site (known engine sites: {', '.join(ENGINE_SITES)}){hint}"
+                f"fault site pattern {self.site!r} matches no engine or "
+                f"backend fault site (known: "
+                f"{', '.join(ENGINE_SITES + BACKEND_SITES)}){hint}"
             )
         if self.times < 1:
             raise ConfigError("a fault spec must allow at least one firing")

@@ -38,6 +38,34 @@ points:
     mapping index while the CMT SRAM stays correct — the failure a
     shadow compare cannot see and only translation spot checks catch.
 
+**Backend sites** — guarded-execution failures inside the memory
+backends, injected through the same :class:`~repro.faults.plan.
+FaultPlan` as engine sites (they share its deterministic firing
+machinery).  Unlike engine sites, where the spec's *kind* chooses the
+effect, a backend site *names* its effect; the spec's ``seconds``
+parameterises the stall and the other kinds are advisory:
+
+``backend.shard.crash``
+    The shard supervisor's worker raises mid-shard (a crashed shard);
+    the token is ``shard<index>``.  Recovery: retry with backoff,
+    then shard-granular serial fallback.
+
+``backend.shard.stall``
+    The worker sleeps ``seconds`` before evaluating its shard,
+    driving it past the supervisor's per-shard timeout.  Recovery:
+    the stalled pool is abandoned and the shard re-runs in-process.
+
+``backend.shard.stats``
+    The shard returns a *corrupted* partial ``RunStats`` (counters
+    garbled).  Recovery: the supervisor's merge-time validation
+    rejects it and re-runs the shard in-process.
+
+``backend.divergence``
+    The divergence guard's sampled primary-tier result is perturbed,
+    forcing a cross-tier mismatch; the token is ``chunk<index>``.
+    Recovery: the run demotes primary → reference with a structured
+    report.
+
 Site patterns in a :class:`FaultSpec` are ``fnmatch`` globs, so
 ``store.load.*`` or ``device.hbm.*`` cover a family.  Each injector
 validates patterns against *its* family, so a spec that could never
@@ -50,6 +78,11 @@ from __future__ import annotations
 from fnmatch import fnmatch
 
 __all__ = [
+    "BACKEND_DIVERGENCE",
+    "BACKEND_SHARD_CRASH",
+    "BACKEND_SHARD_STALL",
+    "BACKEND_SHARD_STATS",
+    "BACKEND_SITES",
     "DEVICE_AMU_MISPROGRAM",
     "DEVICE_CMT_FLIP",
     "DEVICE_HBM_BANK",
@@ -84,6 +117,11 @@ DEVICE_HBM_CHANNEL = "device.hbm.channel"
 DEVICE_CMT_FLIP = "device.cmt.flip"
 DEVICE_AMU_MISPROGRAM = "device.amu.misprogram"
 
+BACKEND_SHARD_CRASH = "backend.shard.crash"
+BACKEND_SHARD_STALL = "backend.shard.stall"
+BACKEND_SHARD_STATS = "backend.shard.stats"
+BACKEND_DIVERGENCE = "backend.divergence"
+
 #: Sites the experiment engine's FaultPlan can act on.
 ENGINE_SITES = (
     STORE_LOAD_TRACE,
@@ -105,12 +143,23 @@ DEVICE_SITES = (
     DEVICE_AMU_MISPROGRAM,
 )
 
-KNOWN_SITES = ENGINE_SITES + DEVICE_SITES
+#: Guarded-execution sites inside the memory backends, checked by the
+#: shard supervisor and the cross-tier divergence guard.  They fire
+#: through the engine :class:`~repro.faults.plan.FaultPlan`.
+BACKEND_SITES = (
+    BACKEND_SHARD_CRASH,
+    BACKEND_SHARD_STALL,
+    BACKEND_SHARD_STATS,
+    BACKEND_DIVERGENCE,
+)
+
+KNOWN_SITES = ENGINE_SITES + DEVICE_SITES + BACKEND_SITES
 
 _FAMILIES = {
     None: KNOWN_SITES,
     "engine": ENGINE_SITES,
     "device": DEVICE_SITES,
+    "backend": BACKEND_SITES,
 }
 
 

@@ -32,9 +32,12 @@ import numpy as np
 from repro.core.amu import AddressMappingUnit
 from repro.core.bitshuffle import select_window_permutation
 from repro.core.chunks import ChunkGeometry
+from repro.core.keys import stable_hash
 from repro.core.sdam import SDAMController
+from repro.errors import CampaignInterrupted, ConfigError
 from repro.hbm.config import HBMConfig, hbm2_config
 from repro.hbm.backend import create_backend
+from repro.hbm.guard import DEFAULT_GUARD_SAMPLE, GuardedBackend, TierFactory
 from repro.mem.kernel import Kernel
 from repro.mem.malloc import MappingAwareAllocator
 from repro.online.controller import AdaptiveController
@@ -65,6 +68,7 @@ class AdaptiveCampaignResult:
     traffic: dict = field(default_factory=dict)
     journal: list = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    resumed: bool = False
 
     @property
     def adaptive_total_ns(self) -> float:
@@ -115,16 +119,21 @@ class AdaptiveCampaignResult:
             "traffic": dict(self.traffic),
             "journal": [dict(entry) for entry in self.journal],
             "elapsed_seconds": self.elapsed_seconds,
+            "resumed": self.resumed,
         }
 
     def fingerprint(self) -> dict:
-        """:meth:`to_dict` with wall-clock fields zeroed.
+        """:meth:`to_dict` with wall-clock and provenance fields zeroed.
 
         Two campaigns with the same seed are bit-identical on this —
-        the determinism contract the tests assert.
+        the determinism contract the tests assert.  ``resumed`` is
+        execution provenance, not computed content: a
+        killed-and-resumed campaign fingerprints identically to an
+        uninterrupted one.
         """
         data = self.to_dict()
         data["elapsed_seconds"] = 0.0
+        data["resumed"] = False
         return data
 
 
@@ -167,6 +176,27 @@ def _serve_static(
     )
 
 
+def _campaign_key(
+    seed, quick, backend, window_accesses, workload, hbm, geometry
+) -> str:
+    """Bind a checkpoint to the exact campaign parameters."""
+    return stable_hash(
+        "adaptive-campaign",
+        seed,
+        bool(quick),
+        backend,
+        int(window_accesses),
+        workload.name,
+        hbm.name,
+        hbm.total_bytes,
+        hbm.num_channels,
+        hbm.banks_per_channel,
+        hbm.row_bytes,
+        geometry.total_bytes,
+        geometry.chunk_bytes,
+    )
+
+
 def run_adaptive_campaign(
     seed: int = 0,
     quick: bool = False,
@@ -176,6 +206,13 @@ def run_adaptive_campaign(
     workload: Workload | None = None,
     controller_kwargs: dict | None = None,
     backend: str = "fast",
+    guard: bool = False,
+    guard_sample: float | None = None,
+    guard_faults=None,
+    checkpoint_path=None,
+    resume: bool = False,
+    checkpoint_every: int = 8,
+    stop_after_window: int | None = None,
 ) -> AdaptiveCampaignResult:
     """Run the seeded adaptive-vs-static campaign.
 
@@ -183,7 +220,16 @@ def run_adaptive_campaign(
     two) for smoke runs; the experiment's structure is unchanged.
     ``backend`` selects the memory fidelity tier the windows (adaptive
     and static alike) are scored through, and the default policy's
-    benefit probes with it.
+    benefit probes with it; ``guard=True`` wraps that tier in the
+    cross-tier divergence guard.
+
+    With ``checkpoint_path`` the campaign persists its kernel,
+    controller and service accumulators every ``checkpoint_every``
+    windows; ``resume=True`` continues a killed campaign from that
+    file with a fingerprint bit-identical to an uninterrupted run.
+    ``stop_after_window`` (the test/CI kill model) checkpoints and
+    raises :class:`~repro.errors.CampaignInterrupted` once that many
+    windows have been served.
     """
     started = time.perf_counter()
     hbm = config or hbm2_config()
@@ -198,19 +244,82 @@ def run_adaptive_campaign(
                 buffer_bytes=4 * 1024 * 1024, accesses_per_phase=98304
             )
         )
-    model = create_backend(backend, hbm, max_inflight=64)
-
-    # -- adaptive machine ---------------------------------------------------
-    kernel, pa = _build_stack(workload, geometry, seed)
+    if stop_after_window is not None and checkpoint_path is None:
+        raise ConfigError("stop_after_window requires a checkpoint_path")
+    key = _campaign_key(
+        seed, quick, backend, window_accesses, workload, hbm, geometry
+    )
     controller_kwargs = dict(controller_kwargs or {})
     controller_kwargs.setdefault("backend", backend)
-    controller = AdaptiveController(
-        kernel, mapping_id=0, hbm=hbm, **controller_kwargs
-    )
-    adaptive_service = 0.0
-    windows = 0
-    adopted: list[np.ndarray] = []
-    for window in _windows(pa, window_accesses):
+
+    # -- adaptive machine ---------------------------------------------------
+    resumed = False
+    if resume:
+        from repro.system.checkpoint import load_checkpoint
+
+        cursor, state = load_checkpoint(checkpoint_path, "adaptive", key)
+        kernel = state["kernel"]
+        controller = state["controller"]
+        model = state["model"]
+        pa = state["pa"]
+        adaptive_service = state["adaptive_service"]
+        windows = state["windows"]
+        adopted = state["adopted"]
+        resumed = True
+    else:
+        model = create_backend(backend, hbm, max_inflight=64)
+        if guard and backend != "event":
+            model = GuardedBackend(
+                model,
+                primary_factory=TierFactory(backend, hbm, max_inflight=64),
+                reference_factory=TierFactory(
+                    "event", hbm, max_inflight=64
+                ),
+                primary_name=backend,
+                sample=(
+                    guard_sample
+                    if guard_sample is not None
+                    else DEFAULT_GUARD_SAMPLE
+                ),
+                mode="demote",
+                faults=guard_faults,
+                seed=seed,
+            )
+        kernel, pa = _build_stack(workload, geometry, seed)
+        controller = AdaptiveController(
+            kernel, mapping_id=0, hbm=hbm, **controller_kwargs
+        )
+        adaptive_service = 0.0
+        windows = 0
+        adopted: list[np.ndarray] = []
+        cursor = 0
+
+    starts = list(range(0, int(pa.size), window_accesses))
+
+    def _persist(next_index: int) -> None:
+        from repro.system.checkpoint import save_checkpoint
+
+        save_checkpoint(
+            checkpoint_path,
+            "adaptive",
+            key,
+            next_index,
+            {
+                "kernel": kernel,
+                "controller": controller,
+                "model": model,
+                "pa": pa,
+                "adaptive_service": adaptive_service,
+                "windows": windows,
+                "adopted": adopted,
+            },
+        )
+
+    if checkpoint_path is not None and not resume:
+        _persist(0)
+    for window_index in range(cursor, len(starts)):
+        start = starts[window_index]
+        window = pa[start : start + window_accesses]
         windows += 1
         ha = kernel.sdam.translate(window)
         adaptive_service += float(model.simulate(ha).makespan_ns)
@@ -218,6 +327,18 @@ def run_adaptive_campaign(
         if entry is not None and entry["kind"] == "remap":
             index = kernel.hardware_index_of(controller.mapping_id)
             adopted.append(kernel.sdam.cmt.config_of(index))
+        completed = window_index + 1
+        if checkpoint_path is not None and (
+            completed % max(1, checkpoint_every) == 0
+            or completed == len(starts)
+        ):
+            _persist(completed)
+        if stop_after_window is not None and completed >= stop_after_window:
+            raise CampaignInterrupted(
+                f"adaptive campaign stopped after window {completed}/"
+                f"{len(starts)} (checkpoint saved)",
+                checkpoint_path=str(checkpoint_path),
+            )
 
     # -- static baselines ---------------------------------------------------
     low, high = geometry.window_slice()
@@ -273,4 +394,5 @@ def run_adaptive_campaign(
         traffic=controller.traffic.to_dict(),
         journal=[dict(entry) for entry in controller.journal],
         elapsed_seconds=time.perf_counter() - started,
+        resumed=resumed,
     )

@@ -32,7 +32,7 @@ import numpy as np
 from repro.core.chunks import ChunkGeometry
 from repro.core.keys import stable_hash
 from repro.core.sdam import SDAMController
-from repro.errors import CMTError, MappingError, RASError
+from repro.errors import CampaignInterrupted, CMTError, MappingError, RASError
 from repro.faults.sites import (
     DEVICE_AMU_MISPROGRAM,
     DEVICE_CMT_FLIP,
@@ -43,6 +43,7 @@ from repro.faults.sites import (
 from repro.hbm.config import HBMConfig
 from repro.hbm.decode import decode_trace
 from repro.hbm.backend import create_backend
+from repro.hbm.guard import DEFAULT_GUARD_SAMPLE, GuardedBackend, TierFactory
 from repro.hbm.stats import DeviceHealth
 from repro.mem.kernel import Kernel
 from repro.mem.migration import ChunkMigrator
@@ -97,6 +98,9 @@ class RASMachine:
         seed: int = 0,
         plan: DeviceFaultPlan | None = None,
         backend: str = "fast",
+        guard: bool = False,
+        guard_sample: float | None = None,
+        guard_faults=None,
     ):
         self.config = config or small_ras_config()
         self.geometry = geometry or ChunkGeometry(
@@ -111,6 +115,21 @@ class RASMachine:
         self.migrator = ChunkMigrator(self.kernel, hbm=self.config)
         self.backend_name = backend
         self.backend = create_backend(backend, self.config)
+        if guard and backend != "event":
+            self.backend = GuardedBackend(
+                self.backend,
+                primary_factory=TierFactory(backend, self.config),
+                reference_factory=TierFactory("event", self.config),
+                primary_name=backend,
+                sample=(
+                    guard_sample
+                    if guard_sample is not None
+                    else DEFAULT_GUARD_SAMPLE
+                ),
+                mode="demote",
+                faults=guard_faults,
+                seed=seed,
+            )
         self.storage = DeviceStorage()
         self.health = DeviceHealth(
             self.config.num_channels, self.config.banks_per_channel
@@ -335,6 +354,7 @@ class CampaignResult:
 
     report: RASReport
     problems: list[str] = field(default_factory=list)
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -346,8 +366,20 @@ class CampaignResult:
         return {
             "ok": self.ok,
             "problems": list(self.problems),
+            "resumed": self.resumed,
             "report": self.report.to_dict(),
         }
+
+    def fingerprint(self) -> dict:
+        """:meth:`to_dict` minus execution provenance.
+
+        ``resumed`` records *how* the campaign was executed, not what
+        it computed; a killed-and-resumed campaign fingerprints
+        identically to an uninterrupted one.
+        """
+        data = self.to_dict()
+        data["resumed"] = False
+        return data
 
     def summary(self) -> str:
         """Human-readable campaign summary."""
@@ -366,6 +398,9 @@ def _build_machine(
     plan: DeviceFaultPlan | None,
     extra_mappings: int,
     backend: str = "fast",
+    guard: bool = False,
+    guard_sample: float | None = None,
+    guard_faults=None,
 ):
     """One machine + its mapping ids; same seed => identical twin."""
     machine = RASMachine(
@@ -374,6 +409,9 @@ def _build_machine(
         seed=seed,
         plan=plan,
         backend=backend,
+        guard=guard,
+        guard_sample=guard_sample,
+        guard_faults=guard_faults,
     )
     rng = np.random.default_rng(seed + 11)
     ids = [0]
@@ -560,6 +598,24 @@ def _match_detection(spec: DeviceFaultSpec, events: list[dict]) -> dict | None:
     return None
 
 
+def _campaign_key(seed, kinds, quick, backend, config, geometry) -> str:
+    """Bind a checkpoint to the exact campaign parameters."""
+    return stable_hash(
+        "ras-campaign",
+        seed,
+        tuple(kinds),
+        bool(quick),
+        backend,
+        config.name,
+        config.total_bytes,
+        config.num_channels,
+        config.banks_per_channel,
+        config.row_bytes,
+        geometry.total_bytes,
+        geometry.chunk_bytes,
+    )
+
+
 def run_campaign(
     seed: int = 0,
     kinds=ALL_KINDS,
@@ -567,6 +623,13 @@ def run_campaign(
     config: HBMConfig | None = None,
     geometry: ChunkGeometry | None = None,
     backend: str = "fast",
+    guard: bool = False,
+    guard_sample: float | None = None,
+    guard_faults=None,
+    checkpoint_path=None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    stop_after_batch: int | None = None,
 ) -> CampaignResult:
     """Inject a seeded multi-fault sequence and prove it was handled.
 
@@ -574,57 +637,130 @@ def run_campaign(
     per requested kind (staggered so each is detected before the next
     strikes), patrol-scrubs every batch, and finally compares the twins
     line by line over the surviving address space.  ``backend`` selects
-    the memory fidelity tier both twins charge their accesses against.
+    the memory fidelity tier both twins charge their accesses against;
+    ``guard=True`` wraps it in the cross-tier divergence guard.
+
+    With ``checkpoint_path`` the campaign persists its twins and batch
+    cursor every ``checkpoint_every`` batches, and ``resume=True``
+    continues a killed campaign from that file — producing a report
+    bit-identical to an uninterrupted run.  ``stop_after_batch`` (used
+    by tests and CI to model a mid-campaign kill) checkpoints and
+    raises :class:`~repro.errors.CampaignInterrupted` once that many
+    batches have completed.
     """
     config = config or small_ras_config()
     geometry = geometry or ChunkGeometry(total_bytes=config.total_bytes)
+    if stop_after_batch is not None and checkpoint_path is None:
+        raise RASError("stop_after_batch requires a checkpoint_path")
+    key = _campaign_key(seed, kinds, quick, backend, config, geometry)
     pages_per_vma = 4 if quick else 8
     writes_per_batch = 128 if quick else 256
-    rng = np.random.default_rng(seed)
-
-    faulty, ids = _build_machine(seed, config, geometry, None, 2, backend)
-    clean, _ids = _build_machine(seed, config, geometry, None, 2, backend)
-    vma_specs = [
-        (mid, pages_per_vma * geometry.page_bytes) for mid in ids
-    ]
-    vmas_f = [faulty.mmap(length, mid) for mid, length in vma_specs]
-    vmas_c = [clean.mmap(length, mid) for mid, length in vma_specs]
-
-    # Initial dataset: every line of every VMA, identical on both twins.
     line_bytes = geometry.line_bytes
-    for vma_f, vma_c in zip(vmas_f, vmas_c):
-        lines = vma_f.length // line_bytes
-        offsets = np.arange(lines, dtype=np.uint64)
-        values = rng.integers(0, 2**31, size=lines)
-        va_f = np.uint64(vma_f.start) + offsets * np.uint64(line_bytes)
-        va_c = np.uint64(vma_c.start) + offsets * np.uint64(line_bytes)
-        faulty.write(va_f, values)
-        clean.write(va_c, values)
-    faulty.patrol()  # clean checkpoint before any fault
-    clean.patrol()
 
-    # One fault per kind, one quiet batch between faults so each is
-    # detected and repaired before the next strikes.
+    # Everything below the cursor lives in the checkpoint; everything
+    # else (schedules, the fault plan's coordinates) is recomputed
+    # deterministically from the seed.
     batches = 2 * len(kinds) + 2
-    schedule = _make_schedule(
-        seed, vma_specs, batches, writes_per_batch, line_bytes
-    )
-    per_batch = sum(
-        op[2].size for op in schedule[0]
-    )
-    faulty.plan = _plan_from_state(
-        faulty,
-        kinds,
-        rng,
-        first_trigger=faulty.accesses + per_batch // 2,
-        spacing=2 * per_batch,
-    )
+    resumed = False
+    if resume:
+        from repro.system.checkpoint import load_checkpoint
 
-    for ops in schedule:
+        start_batch, state = load_checkpoint(checkpoint_path, "ras", key)
+        faulty = state["faulty"]
+        clean = state["clean"]
+        vmas_f = state["vmas_f"]
+        vmas_c = state["vmas_c"]
+        vma_specs = state["vma_specs"]
+        schedule = _make_schedule(
+            seed, vma_specs, batches, writes_per_batch, line_bytes
+        )
+        resumed = True
+    else:
+        rng = np.random.default_rng(seed)
+        faulty, ids = _build_machine(
+            seed, config, geometry, None, 2, backend,
+            guard=guard, guard_sample=guard_sample,
+            guard_faults=guard_faults,
+        )
+        clean, _ids = _build_machine(
+            seed, config, geometry, None, 2, backend,
+            guard=guard, guard_sample=guard_sample,
+            guard_faults=guard_faults,
+        )
+        vma_specs = [
+            (mid, pages_per_vma * geometry.page_bytes) for mid in ids
+        ]
+        vmas_f = [faulty.mmap(length, mid) for mid, length in vma_specs]
+        vmas_c = [clean.mmap(length, mid) for mid, length in vma_specs]
+
+        # Initial dataset: every line of every VMA, identical on both
+        # twins.
+        for vma_f, vma_c in zip(vmas_f, vmas_c):
+            lines = vma_f.length // line_bytes
+            offsets = np.arange(lines, dtype=np.uint64)
+            values = rng.integers(0, 2**31, size=lines)
+            va_f = np.uint64(vma_f.start) + offsets * np.uint64(line_bytes)
+            va_c = np.uint64(vma_c.start) + offsets * np.uint64(line_bytes)
+            faulty.write(va_f, values)
+            clean.write(va_c, values)
+        faulty.patrol()  # clean checkpoint before any fault
+        clean.patrol()
+
+        # One fault per kind, one quiet batch between faults so each is
+        # detected and repaired before the next strikes.
+        schedule = _make_schedule(
+            seed, vma_specs, batches, writes_per_batch, line_bytes
+        )
+        per_batch = sum(
+            op[2].size for op in schedule[0]
+        )
+        faulty.plan = _plan_from_state(
+            faulty,
+            kinds,
+            rng,
+            first_trigger=faulty.accesses + per_batch // 2,
+            spacing=2 * per_batch,
+        )
+        start_batch = 0
+
+    def _persist(next_batch: int) -> None:
+        from repro.system.checkpoint import save_checkpoint
+
+        save_checkpoint(
+            checkpoint_path,
+            "ras",
+            key,
+            next_batch,
+            {
+                "faulty": faulty,
+                "clean": clean,
+                "vmas_f": vmas_f,
+                "vmas_c": vmas_c,
+                "vma_specs": vma_specs,
+            },
+        )
+
+    if checkpoint_path is not None and not resume:
+        _persist(0)
+
+    for batch_index in range(start_batch, len(schedule)):
+        ops = schedule[batch_index]
         _apply_ops(faulty, vmas_f, ops, line_bytes)
         _apply_ops(clean, vmas_c, ops, line_bytes)
         faulty.patrol()
         clean.patrol()
+        completed = batch_index + 1
+        if checkpoint_path is not None and (
+            completed % max(1, checkpoint_every) == 0
+            or completed == len(schedule)
+        ):
+            _persist(completed)
+        if stop_after_batch is not None and completed >= stop_after_batch:
+            raise CampaignInterrupted(
+                f"RAS campaign stopped after batch {completed}/"
+                f"{len(schedule)} (checkpoint saved)",
+                checkpoint_path=str(checkpoint_path),
+            )
     faulty.patrol()
 
     problems: list[str] = []
@@ -714,4 +850,4 @@ def run_campaign(
         all_detected=all_detected,
         all_repaired=all(d["repaired"] for d in detections),
     )
-    return CampaignResult(report=report, problems=problems)
+    return CampaignResult(report=report, problems=problems, resumed=resumed)

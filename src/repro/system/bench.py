@@ -358,11 +358,30 @@ def run_evaluate_benchmark(
             )
         )
     )
+    health = getattr(candidate_model, "last_health", None)
+    sharded = bool(health.sharded) if health is not None else False
+    if workers and not sharded:
+        import warnings
+
+        detail = (
+            health.summary()
+            if health is not None
+            else "backend reported no health record"
+        )
+        warnings.warn(
+            f"bench --workers {workers} asked for sharded execution but "
+            f"the run degraded ({detail}); the recorded numbers measure "
+            "the fallback path, not the worker pool",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return {
         "schema": 1,
         "benchmark": "end-to-end-evaluate",
         "backend": backend,
         "workers": int(workers),
+        "sharded": sharded,
+        "backend_health": health.to_dict() if health is not None else None,
         "chunk_accesses": int(chunk_accesses),
         "accesses": int(accesses),
         "seed": int(seed),

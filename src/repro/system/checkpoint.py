@@ -1,0 +1,97 @@
+"""Crash-safe campaign checkpoints.
+
+Long campaigns (``repro ras``, ``repro adapt``) periodically persist
+their live state — the simulated machines, journals, controllers, and
+a loop cursor — so a killed run can ``--resume`` and finish with a
+fingerprint **bit-identical** to the uninterrupted run.  That identity
+holds because campaigns are seeded-deterministic: everything outside
+the pickled state (schedules, traces, fault plans) is recomputed from
+the seed, and everything stateful rides in the checkpoint.
+
+The format is a single pickle with a small validated envelope::
+
+    {"version": 1, "campaign": "ras" | "adaptive",
+     "key": <stable_hash of the campaign parameters>,
+     "cursor": <loop index to resume from>, "state": <campaign dict>}
+
+``key`` binds a checkpoint to the exact parameter set that produced
+it; resuming with different parameters is a hard
+:class:`~repro.errors.ConfigError`, never a silently-wrong campaign.
+Writes are atomic (temp file + ``os.replace``), so a kill *during*
+checkpointing leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = ["CHECKPOINT_VERSION", "load_checkpoint", "save_checkpoint"]
+
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(
+    path: str | Path, campaign: str, key: str, cursor: int, state: dict
+) -> None:
+    """Atomically persist one campaign checkpoint."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "campaign": campaign,
+        "key": key,
+        "cursor": int(cursor),
+        "state": state,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(
+    path: str | Path, campaign: str, key: str
+) -> tuple[int, dict]:
+    """Load and validate a checkpoint; returns ``(cursor, state)``.
+
+    Refuses (with a :class:`ConfigError`) a file written by a
+    different checkpoint version, a different campaign type, or a
+    campaign with different parameters — a resumed run must continue
+    the *same* campaign or not at all.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"no checkpoint at {path}")
+    with open(path, "rb") as handle:
+        try:
+            payload = pickle.load(handle)
+        except Exception as error:
+            raise ConfigError(
+                f"unreadable checkpoint {path}: {error}"
+            ) from error
+    if not isinstance(payload, dict) or "version" not in payload:
+        raise ConfigError(f"{path} is not a campaign checkpoint")
+    if payload["version"] != CHECKPOINT_VERSION:
+        raise ConfigError(
+            f"checkpoint {path} has version {payload['version']}, "
+            f"this build writes {CHECKPOINT_VERSION}"
+        )
+    if payload.get("campaign") != campaign:
+        raise ConfigError(
+            f"checkpoint {path} belongs to a "
+            f"{payload.get('campaign')!r} campaign, not {campaign!r}"
+        )
+    if payload.get("key") != key:
+        raise ConfigError(
+            f"checkpoint {path} was written by a campaign with "
+            "different parameters (seed/kinds/backend/config); refusing "
+            "to resume into a different experiment"
+        )
+    return int(payload["cursor"]), payload["state"]

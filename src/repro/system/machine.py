@@ -47,7 +47,8 @@ from repro.hbm.decode import (
     decode_translated,
     iter_decoded_chunks,
 )
-from repro.hbm.stats import RunStats
+from repro.hbm.guard import DEFAULT_GUARD_SAMPLE, GuardedBackend, TierFactory
+from repro.hbm.stats import BackendHealth, RunStats
 from repro.mem.kernel import Kernel
 from repro.mem.malloc import MappingAwareAllocator
 from repro.ml.dlkmeans import AutoencoderConfig
@@ -98,6 +99,7 @@ class MachineResult:
     selection: MappingSelection | None
     compute_ns: float
     profiling_seconds: float = 0.0
+    backend_health: BackendHealth | None = None
 
     @property
     def time_ns(self) -> float:
@@ -155,7 +157,7 @@ class MachineResult:
                 },
                 "elapsed_seconds": float(self.selection.elapsed_seconds),
             }
-        return {
+        data = {
             "workload": self.workload,
             "system": self.system,
             "stats": self.stats.to_dict(),
@@ -171,6 +173,12 @@ class MachineResult:
             "compute_ns": self.compute_ns,
             "profiling_seconds": self.profiling_seconds,
         }
+        # Only present for guarded/supervised runs: keeps the dict (and
+        # every pre-existing cache entry and fingerprint) unchanged for
+        # plain runs.
+        if self.backend_health is not None:
+            data["backend_health"] = self.backend_health.to_dict()
+        return data
 
     def to_json(self, **json_kwargs) -> str:
         """JSON text of :meth:`to_dict`."""
@@ -190,6 +198,10 @@ class MachineResult:
         data["profiling_seconds"] = 0.0
         if data["selection"] is not None:
             data["selection"]["elapsed_seconds"] = 0.0
+        # Health describes *how* the result was obtained (pool
+        # availability, retries) and varies with the host environment;
+        # the deterministic content is the result itself.
+        data.pop("backend_health", None)
         return data
 
     @classmethod
@@ -223,6 +235,9 @@ class MachineResult:
                 elapsed_seconds=float(sel["elapsed_seconds"]),
                 details={"num_mappings": int(sel["num_mappings"])},
             )
+        health = None
+        if data.get("backend_health") is not None:
+            health = BackendHealth.from_dict(data["backend_health"])
         return cls(
             workload=data["workload"],
             system=data["system"],
@@ -231,6 +246,7 @@ class MachineResult:
             selection=selection,
             compute_ns=float(data["compute_ns"]),
             profiling_seconds=float(data.get("profiling_seconds", 0.0)),
+            backend_health=health,
         )
 
 
@@ -252,6 +268,10 @@ class Machine:
         chunk_colours: int = 8,
         debug_ha: bool = False,
         memory_model: str | None = None,
+        guard: bool = False,
+        guard_sample: float | None = None,
+        guard_mode: str = "demote",
+        backend_faults=None,
     ):
         self.system = system
         self.hbm = hbm or hbm2_config()
@@ -286,6 +306,17 @@ class Machine:
             )
         self.backend = backend
         self.backend_options = dict(backend_options or {})
+        if guard_mode not in ("demote", "raise"):
+            raise ConfigError(
+                f"unknown guard mode {guard_mode!r}; "
+                "expected 'demote' or 'raise'"
+            )
+        if guard_sample is not None and not (0.0 < guard_sample <= 1.0):
+            raise ConfigError("guard_sample must be in (0, 1]")
+        self.guard = bool(guard)
+        self.guard_sample = guard_sample
+        self.guard_mode = guard_mode
+        self.backend_faults = backend_faults
         self.chunk_accesses = chunk_accesses
         self.dl_config = dl_config
         self.seed = seed
@@ -299,12 +330,54 @@ class Machine:
         return self.backend
 
     # -- building blocks -----------------------------------------------------
+    #: VectorModel execution knobs that must not leak into the guard's
+    #: single-process replay instances (they change *how* a result is
+    #: computed, never *what* it is).
+    _EXECUTION_OPTIONS = ("workers", "shard_timeout", "retry", "faults")
+
     def _memory(self) -> MemoryBackend:
-        return create_backend(
+        options = dict(self.backend_options)
+        if (
+            self.backend == "vector"
+            and self.backend_faults is not None
+            and "faults" not in options
+        ):
+            options["faults"] = self.backend_faults
+        backend = create_backend(
             self.backend,
             self.hbm,
             max_inflight=self.engine.max_inflight,
-            **self.backend_options,
+            **options,
+        )
+        if not self.guard or self.backend == "event":
+            return backend
+        replay_options = {
+            key: value
+            for key, value in self.backend_options.items()
+            if key not in self._EXECUTION_OPTIONS
+        }
+        max_inflight = self.engine.max_inflight
+        return GuardedBackend(
+            backend,
+            primary_factory=TierFactory(
+                self.backend,
+                self.hbm,
+                max_inflight=max_inflight,
+                **replay_options,
+            ),
+            reference_factory=TierFactory(
+                "event", self.hbm, max_inflight=max_inflight
+            ),
+            primary_name=self.backend,
+            reference_name="event",
+            sample=(
+                self.guard_sample
+                if self.guard_sample is not None
+                else DEFAULT_GUARD_SAMPLE
+            ),
+            mode=self.guard_mode,
+            faults=self.backend_faults,
+            seed=self.seed,
         )
 
     def _allocate(
@@ -495,6 +568,7 @@ class Machine:
             selection=selection,
             compute_ns=compute_ns,
             profiling_seconds=profiling_seconds,
+            backend_health=getattr(backend, "last_health", None),
         )
 
     # -- RAS -------------------------------------------------------------------
@@ -517,6 +591,9 @@ class Machine:
             config=self.hbm,
             geometry=self.geometry,
             backend=self.backend,
+            guard=self.guard,
+            guard_sample=self.guard_sample,
+            guard_faults=self.backend_faults,
         )
 
     # -- online adaptation ------------------------------------------------------
@@ -538,4 +615,7 @@ class Machine:
             config=self.hbm,
             geometry=self.geometry,
             backend=self.backend,
+            guard=self.guard,
+            guard_sample=self.guard_sample,
+            guard_faults=self.backend_faults,
         )

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures for the whole suite."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.fixture(autouse=True)
+def _reset_deprecation_registry():
+    """Isolate the once-per-process deprecation registry per test.
+
+    ``warn_deprecated_once`` deduplicates by key for the life of the
+    process, so without this reset a test asserting on a deprecation
+    warning passes or fails depending on which other tests ran first.
+    """
+    saved = set(errors._DEPRECATION_WARNED)
+    errors._DEPRECATION_WARNED.clear()
+    yield
+    errors._DEPRECATION_WARNED.clear()
+    errors._DEPRECATION_WARNED.update(saved)

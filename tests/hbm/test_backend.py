@@ -115,17 +115,11 @@ class TestMachineSelection:
 
 
 class TestDeprecationShims:
-    """The renamed surfaces keep working, but say so exactly once."""
+    """The renamed surfaces keep working, but say so exactly once.
 
-    @pytest.fixture(autouse=True)
-    def _fresh_warning_state(self):
-        from repro import errors
-
-        saved = set(errors._DEPRECATION_WARNED)
-        errors._DEPRECATION_WARNED.clear()
-        yield
-        errors._DEPRECATION_WARNED.clear()
-        errors._DEPRECATION_WARNED.update(saved)
+    The suite-wide autouse fixture in ``tests/conftest.py`` resets the
+    once-per-process registry between tests.
+    """
 
     def test_memory_model_alias_warns_once(self):
         import warnings

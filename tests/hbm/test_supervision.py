@@ -1,0 +1,238 @@
+"""Tests for the vector tier's shard supervisor.
+
+The contract under test: every rung of the degradation ladder — pool
+submit, per-shard retry, stall/timeout pool abandonment, shard-granular
+serial fallback — produces **bit-identical** stats to an undisturbed
+run, and every rung taken is recorded in ``last_health``.  The
+``backend.shard.*`` fault sites drive each path deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendExecutionError
+from repro.faults import FaultPlan
+from repro.faults.sites import (
+    BACKEND_SHARD_CRASH,
+    BACKEND_SHARD_STALL,
+    BACKEND_SHARD_STATS,
+)
+from repro.hbm import hbm2_config
+from repro.hbm.decode import decode_trace
+from repro.hbm.vectormodel import VectorModel
+from repro.system.runner import RetryPolicy
+
+CONFIG = hbm2_config()
+
+
+def _trace(n: int = 4096, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    lines = CONFIG.total_bytes // CONFIG.line_bytes
+    return rng.integers(0, lines, n, dtype=np.uint64) * np.uint64(
+        CONFIG.line_bytes
+    )
+
+
+def _fast_retry() -> RetryPolicy:
+    return RetryPolicy(backoff_seconds=0.001)
+
+
+def _assert_identical(a, b):
+    assert a.requests == b.requests
+    assert a.bytes_moved == b.bytes_moved
+    assert a.makespan_ns == b.makespan_ns
+    assert a.row_hits == b.row_hits
+    assert a.row_misses == b.row_misses
+    np.testing.assert_array_equal(
+        a.per_channel_requests, b.per_channel_requests
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The undisturbed serial answer every recovery path must match."""
+    return VectorModel(CONFIG).simulate(_trace())
+
+
+def _events(model: VectorModel) -> list[str]:
+    return [d["event"] for d in model.last_health.degradations]
+
+
+class TestHealthySharding:
+    def test_sharded_matches_serial_and_reports_health(self, baseline):
+        model = VectorModel(CONFIG, workers=2, retry=_fast_retry())
+        stats = model.simulate(_trace())
+        _assert_identical(stats, baseline)
+        health = model.last_health
+        assert health.workers == 2
+        assert health.shards == 2
+        assert health.sharded
+        assert health.ok
+        assert health.degradations == []
+
+    def test_serial_run_reports_unsharded_health(self, baseline):
+        model = VectorModel(CONFIG)
+        stats = model.simulate(_trace())
+        _assert_identical(stats, baseline)
+        assert model.last_health is not None
+        assert not model.last_health.sharded
+
+
+class TestInjectedShardFaults:
+    def test_crash_is_retried_and_converges(self, baseline):
+        model = VectorModel(
+            CONFIG,
+            workers=2,
+            retry=_fast_retry(),
+            faults=FaultPlan.single(BACKEND_SHARD_CRASH, match="shard0"),
+        )
+        stats = model.simulate(_trace())
+        _assert_identical(stats, baseline)
+        health = model.last_health
+        assert health.shard_retries >= 1
+        assert "shard-retry" in _events(model)
+        assert not health.ok  # degradation is reported, never silent
+
+    def test_stall_abandons_pool_and_falls_back_serially(self, baseline):
+        model = VectorModel(
+            CONFIG,
+            workers=2,
+            retry=_fast_retry(),
+            faults=FaultPlan.single(
+                BACKEND_SHARD_STALL, kind="stall", match="shard1"
+            ),
+        )
+        stats = model.simulate(_trace())
+        _assert_identical(stats, baseline)
+        events = _events(model)
+        assert "shard-timeout" in events
+        assert "pool-degraded" in events
+        assert "serial-shard" in events
+        assert not model.last_health.sharded
+
+    def test_corrupted_stats_are_rejected_then_recomputed(self, baseline):
+        model = VectorModel(
+            CONFIG,
+            workers=2,
+            retry=_fast_retry(),
+            faults=FaultPlan.single(BACKEND_SHARD_STATS, match="shard0"),
+        )
+        stats = model.simulate(_trace())
+        _assert_identical(stats, baseline)
+        health = model.last_health
+        assert health.stats_rejected >= 1
+        assert "shard-stats-rejected" in _events(model)
+        assert "shard-retry" in _events(model)
+
+    def test_unrecoverable_shard_raises_with_health(self):
+        # times=2: the crash fires once in the pool and once more in the
+        # serial fallback; with retries disabled the ladder is exhausted.
+        model = VectorModel(
+            CONFIG,
+            workers=2,
+            retry=RetryPolicy.none(),
+            faults=FaultPlan.single(
+                BACKEND_SHARD_CRASH, match="shard0", times=2
+            ),
+        )
+        with pytest.raises(BackendExecutionError) as excinfo:
+            model.simulate(_trace())
+        health = excinfo.value.health
+        assert health is not None
+        assert "serial-shard" in [d["event"] for d in health.degradations]
+
+    def test_crash_without_retry_still_converges_serially(self, baseline):
+        # One firing, no retry budget: the pool gives up on the shard
+        # and the serial rung completes it.
+        model = VectorModel(
+            CONFIG,
+            workers=2,
+            retry=RetryPolicy.none(),
+            faults=FaultPlan.single(BACKEND_SHARD_CRASH, match="shard0"),
+        )
+        stats = model.simulate(_trace())
+        _assert_identical(stats, baseline)
+        assert "serial-shard" in _events(model)
+
+
+class TestPoolCreationNarrowing:
+    """Only environmental pool failures degrade; real bugs propagate."""
+
+    class _Unavailable:
+        def __init__(self, *args, **kwargs):
+            raise OSError("no semaphores here")
+
+    class _Buggy:
+        def __init__(self, *args, **kwargs):
+            raise ValueError("max_workers must be positive")
+
+    def test_environmental_failure_degrades_with_record(
+        self, baseline, monkeypatch
+    ):
+        import concurrent.futures
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", self._Unavailable
+        )
+        model = VectorModel(CONFIG, workers=2, retry=_fast_retry())
+        stats = model.simulate(_trace())
+        _assert_identical(stats, baseline)
+        health = model.last_health
+        assert health.pool_degraded
+        assert not health.sharded
+        assert health.serial_shards == 2
+
+    def test_programming_error_propagates(self, monkeypatch):
+        import concurrent.futures
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", self._Buggy
+        )
+        model = VectorModel(CONFIG, workers=2, retry=_fast_retry())
+        with pytest.raises(ValueError, match="max_workers"):
+            model.simulate(_trace())
+
+
+class TestHealthSerialisation:
+    def test_round_trip_and_merge(self):
+        model = VectorModel(
+            CONFIG,
+            workers=2,
+            retry=_fast_retry(),
+            faults=FaultPlan.single(BACKEND_SHARD_CRASH, match="shard0"),
+        )
+        model.simulate(_trace())
+        health = model.last_health
+        from repro.hbm.stats import BackendHealth
+
+        clone = BackendHealth.from_dict(health.to_dict())
+        assert clone.to_dict() == health.to_dict()
+        merged = clone.merge(BackendHealth(backend="vector", workers=2))
+        assert merged.shard_retries == health.shard_retries
+
+    def test_chunked_stream_survives_supervision(self, baseline):
+        decoded = decode_trace(
+            np.asarray(_trace(), dtype=np.uint64), CONFIG
+        )
+        from repro.hbm.decode import DecodedTrace
+
+        def chunks():
+            step = 500
+            for lo in range(0, len(decoded), step):
+                hi = min(lo + step, len(decoded))
+                yield DecodedTrace(
+                    channel=decoded.channel[lo:hi],
+                    bank=decoded.bank[lo:hi],
+                    row=decoded.row[lo:hi],
+                    column=decoded.column[lo:hi],
+                    global_bank=decoded.global_bank[lo:hi],
+                )
+
+        model = VectorModel(
+            CONFIG,
+            workers=2,
+            retry=_fast_retry(),
+            faults=FaultPlan.single(BACKEND_SHARD_STATS, match="shard1"),
+        )
+        stats = model.simulate_decoded(chunks())
+        _assert_identical(stats, baseline)

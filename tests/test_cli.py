@@ -192,3 +192,28 @@ class TestRASCommand:
         data = json.loads(capsys.readouterr().out)
         assert data["ok"] is True
         assert len(data["report"]["detections"]) == 2
+
+    def test_ras_stop_after_exits_3_then_resumes(self, capsys, tmp_path):
+        ckpt = tmp_path / "ras.ckpt"
+        base = [
+            "ras", "--quick", "--seed", "2", "--kinds", "row,cmt",
+            "--checkpoint", str(ckpt),
+        ]
+        assert main(base + ["--stop-after", "2"]) == 3
+        assert "campaign interrupted" in capsys.readouterr().err
+        assert ckpt.exists()
+        assert main(base + ["--resume", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["resumed"] is True
+
+
+class TestCampaignCheckpointFlags:
+    def test_adapt_stop_after_exits_3_then_resumes(self, capsys, tmp_path):
+        ckpt = tmp_path / "adapt.ckpt"
+        base = ["adapt", "--quick", "--seed", "7", "--checkpoint", str(ckpt)]
+        assert main(base + ["--stop-after", "8"]) == 3
+        assert "campaign interrupted" in capsys.readouterr().err
+        assert main(base + ["--resume", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["resumed"] is True
