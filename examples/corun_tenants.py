@@ -2,14 +2,20 @@
 
 The chunk-mapping table is a *global* resource (Section 4: "the
 physical memory space ... is globally shared by all the processes"),
-so co-running applications split the 256-mapping budget.  This example
-co-runs four applications with different access characters, sweeps the
-per-application cluster budget, and shows the CMT never overflowing
+so co-running applications split the 256-mapping budget.  Since the
+tenant-scoped refactor that split is explicit: each application is
+admitted with a :class:`~repro.core.cmt.MappingNamespace` carved by
+:func:`~repro.core.cmt.partition_budget`, and interning a mapping
+outside the namespace's quota raises instead of silently crowding a
+neighbour.  This example co-runs four applications with different
+access characters, sweeps the per-application cluster budget, prints
+the resulting budget partition, and shows the CMT never overflowing
 while SDAM still pays off for the mix.
 
 Run:  python examples/corun_tenants.py
 """
 
+from repro.core.cmt import partition_budget
 from repro.system.corun import CorunMachine
 from repro.system.reporting import format_table
 from repro.workloads import (
@@ -51,6 +57,17 @@ def main() -> None:
             }
         )
     print(format_table(rows, title="four tenants sharing one CMT"))
+    # The partition the last sweep ran under: one namespace per app,
+    # slot 0 (the boot identity) shared by everyone.
+    partition = partition_budget(
+        {f"app{i}": 8 for i in range(len(apps))}, max_mappings=256
+    )
+    print("\nbudget partition at 8 clusters/app:")
+    for name, namespace in partition.items():
+        print(
+            f"  {name}: slots [{namespace.base}, {namespace.end}) "
+            f"of 256 (quota {namespace.capacity})"
+        )
     print(
         "\nEven one mapping per tenant recovers most of the benefit — the\n"
         "paper's argument that a 256-entry CMT comfortably serves many\n"

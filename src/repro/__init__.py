@@ -25,6 +25,16 @@ from repro.api import (
     strided_workload,
 )
 from repro.faults import FaultPlan, FaultSpec
+from repro.hbm import PlanCache, default_plan_cache
+from repro.service import (
+    MappingService,
+    ServiceCampaignResult,
+    SharedArtifacts,
+    TenantContext,
+    TenantRegistry,
+    TenantSpec,
+    run_service_campaign,
+)
 from repro.ras import (
     CampaignResult,
     DeviceFaultPlan,
@@ -45,7 +55,7 @@ from repro.system import (
     system_by_key,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AdaptiveCampaignResult",
@@ -58,17 +68,26 @@ __all__ = [
     "FaultSpec",
     "Machine",
     "MappingSelection",
+    "MappingService",
+    "PlanCache",
     "RASReport",
     "run_adaptive_campaign",
     "run_ras_campaign",
+    "run_service_campaign",
     "MachineResult",
     "RetryPolicy",
+    "ServiceCampaignResult",
     "Session",
+    "SharedArtifacts",
     "SpeedupTable",
     "SuiteResult",
     "SystemConfig",
+    "TenantContext",
+    "TenantRegistry",
+    "TenantSpec",
     "__version__",
     "default_cache_dir",
+    "default_plan_cache",
     "evaluation_workloads",
     "mixed_stride_workload",
     "run_suite",

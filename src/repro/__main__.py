@@ -457,6 +457,42 @@ def cmd_ras(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the multi-tenant service isolation selftest."""
+    import json
+
+    from repro.service import run_service_campaign
+
+    result = run_service_campaign(
+        seed=args.seed,
+        tenants=args.tenants,
+        quick=not args.full,
+        controllers=not args.no_controllers,
+    )
+    payload = result.to_dict()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        for name, fingerprint in result.concurrent_fingerprints.items():
+            namespace = fingerprint.get("namespace") or {}
+            print(
+                f"  {name}: slots [{namespace.get('base')}, "
+                f"{namespace.get('base', 0) + namespace.get('capacity', 0)}) "
+                f"runs {len(fingerprint.get('runs', []))}"
+            )
+        if args.out:
+            print(f"report written to {args.out}")
+    if not result.isolated:
+        for mismatch in result.mismatches:
+            print(f"error: isolation violated: {mismatch}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_campaign_flags(parser, unit: str) -> None:
     """The guarded-execution / checkpoint flags shared by ras and adapt."""
     parser.add_argument(
@@ -667,6 +703,39 @@ def main(argv: list[str] | None = None) -> int:
         "(fast | vector | event; default fast)",
     )
     _add_campaign_flags(adapt, "trace windows")
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant service isolation selftest "
+        "(solo vs concurrent fingerprints, fault + controller legs)",
+    )
+    serve.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the isolation selftest campaign (the only mode; "
+        "accepted for forward compatibility)",
+    )
+    serve_scope = serve.add_mutually_exclusive_group()
+    serve_scope.add_argument(
+        "--quick", action="store_true", help="small traces (default)"
+    )
+    serve_scope.add_argument(
+        "--full", action="store_true", help="longer traces per tenant"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--tenants", type=int, default=3, help="tenant count (min 2)"
+    )
+    serve.add_argument(
+        "--no-controllers",
+        action="store_true",
+        help="skip the per-tenant adaptive/RAS controller leg",
+    )
+    serve.add_argument(
+        "--out", default=None, help="write the isolation report as JSON here"
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
     args = parser.parse_args(argv)
     handlers = {
         "demo": cmd_demo,
@@ -678,6 +747,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify-cache": cmd_verify_cache,
         "ras": cmd_ras,
         "adapt": cmd_adapt,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -47,6 +47,15 @@ from repro.ras import (
     RASReport,
 )
 from repro.ras import run_campaign as run_ras_campaign
+from repro.service import (
+    MappingService,
+    ServiceCampaignResult,
+    SharedArtifacts,
+    TenantContext,
+    TenantRegistry,
+    TenantSpec,
+    run_service_campaign,
+)
 from repro.system import (
     ExperimentRunner,
     Machine,
@@ -76,11 +85,18 @@ __all__ = [
     "DeviceFaultSpec",
     "FaultPlan",
     "MappingSelection",
+    "MappingService",
     "RASReport",
     "RetryPolicy",
+    "ServiceCampaignResult",
     "Session",
+    "SharedArtifacts",
+    "TenantContext",
+    "TenantRegistry",
+    "TenantSpec",
     "run_adaptive_campaign",
     "run_ras_campaign",
+    "run_service_campaign",
     "select_application_mapping",
     "default_cache_dir",
     "evaluation_workloads",
@@ -419,6 +435,31 @@ class Session:
             overrides.setdefault("checkpoint_path", checkpoint_path)
             overrides.setdefault("resume", resume)
         return run_adaptive_campaign(seed=seed, quick=quick, **overrides)
+
+    def service_campaign(
+        self,
+        seed: int = 0,
+        tenants: int = 3,
+        *,
+        quick: bool = True,
+        controllers: bool = True,
+    ) -> ServiceCampaignResult:
+        """Multi-tenant isolation selftest for the service layer.
+
+        Admits ``tenants`` tenant contexts over shared immutable
+        artifacts, runs each solo and then all concurrently (plus a
+        fault-injection leg and, with ``controllers=True``, concurrent
+        per-tenant adaptive/RAS campaigns), and checks every tenant's
+        fingerprint is bit-identical across legs.  Returns a
+        :class:`~repro.service.campaign.ServiceCampaignResult`; its
+        ``isolated`` property is the verdict.
+        """
+        return run_service_campaign(
+            seed=seed,
+            tenants=tenants,
+            quick=quick,
+            controllers=controllers,
+        )
 
 
 def evaluation_workloads(*, quick: bool = True) -> list[Workload]:

@@ -139,11 +139,28 @@ class SDAMController:
         self._misprogrammed: dict[int, np.ndarray] = {}
 
     # -- software-facing control interface ---------------------------------
-    def register_mapping(self, mapping) -> int:
+    def register_namespace(self, namespace) -> None:
+        """Reserve a tenant slice of the mapping budget (see CMT docs).
+
+        The shadow table mirrors the reservation so its shape keeps
+        matching the live SRAM under quota pressure.
+        """
+        self.cmt.register_namespace(namespace)
+        if self.shadow_cmt is not None:
+            self.shadow_cmt.register_namespace(namespace)
+
+    def release_namespace(self, tenant: str) -> None:
+        """Return a tenant's slice of the mapping budget."""
+        self.cmt.release_namespace(tenant)
+        if self.shadow_cmt is not None:
+            self.shadow_cmt.release_namespace(tenant)
+
+    def register_mapping(self, mapping, namespace: str | None = None) -> int:
         """Intern a mapping; accepts a window permutation or a full one.
 
         A full-width :class:`PermutationMapping` must leave bits outside
-        the chunk-offset window untouched.
+        the chunk-offset window untouched.  With ``namespace`` set the
+        intern is charged against that tenant's registered quota.
         """
         if isinstance(mapping, PermutationMapping):
             low, high = self.geometry.window_slice()
@@ -157,9 +174,9 @@ class SDAMController:
                 )
         else:
             window_perm = np.asarray(mapping, dtype=np.int64)
-        index = self.cmt.intern_mapping(window_perm)
+        index = self.cmt.intern_mapping(window_perm, namespace=namespace)
         if self.shadow_cmt is not None:
-            self.shadow_cmt.intern_mapping(window_perm)
+            self.shadow_cmt.intern_mapping(window_perm, namespace=namespace)
         return index
 
     def assign_chunk(self, chunk_no: int, mapping_id: int) -> None:

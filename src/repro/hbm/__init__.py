@@ -19,6 +19,7 @@ from repro.hbm.decode import (
 from repro.hbm.device import HBMDevice
 from repro.hbm.fastmodel import WindowModel, row_hit_mask
 from repro.hbm.guard import GuardedBackend, TierFactory
+from repro.hbm.plancache import PlanCache, default_plan_cache
 from repro.hbm.stats import BackendHealth, DeviceHealth, RunStats
 from repro.hbm.vectormodel import VectorModel
 
@@ -31,6 +32,7 @@ __all__ = [
     "HBMConfig",
     "HBMDevice",
     "MemoryBackend",
+    "PlanCache",
     "RunStats",
     "TierFactory",
     "VectorModel",
@@ -41,6 +43,7 @@ __all__ = [
     "ddr4_config",
     "decode_trace",
     "decode_translated",
+    "default_plan_cache",
     "hbm2_config",
     "iter_decoded_chunks",
     "register_backend",

@@ -15,14 +15,18 @@ GF(2) bit operation (a row slice of the identity), so it lowers to the
 * :func:`decode_trace` is the identity-mapping plan, the classic
   HA-array entry point (kept for the debug/legacy two-step path).
 
-Plans are cached per (operator, config): an experiment sweep compiles
-each live mapping once and reuses it across every trace.
+Plans are cached per (operator, config) in an explicit, thread-safe
+:class:`~repro.hbm.plancache.PlanCache`: an experiment sweep compiles
+each live mapping once and reuses it across every trace, and in the
+multi-tenant service layer every tenant shares one cache so compile
+cost is paid once per distinct mapping, not once per tenant.  Callers
+that want their own cache pass ``cache=``; everyone else shares the
+process-wide default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
@@ -30,6 +34,7 @@ from repro.core.bitmatrix import BitOperator, BitProjection
 from repro.core.sdam import AddressTranslator
 from repro.errors import MappingError
 from repro.hbm.config import HBMConfig
+from repro.hbm.plancache import PlanCache, default_plan_cache
 
 __all__ = [
     "DecodedTrace",
@@ -126,16 +131,23 @@ def _pad_operator(operator: BitOperator, width: int) -> BitOperator:
     return BitOperator(matrix)
 
 
-@lru_cache(maxsize=512)
-def _cached_plan(config: HBMConfig, operator: BitOperator) -> DecodePlan:
-    return DecodePlan(config, operator)
+def plan_for(
+    config: HBMConfig,
+    operator: BitOperator | None = None,
+    cache: PlanCache | None = None,
+) -> DecodePlan:
+    """The (cached) decode plan fusing ``operator`` with ``config``'s layout.
 
-
-def plan_for(config: HBMConfig, operator: BitOperator | None = None) -> DecodePlan:
-    """The (cached) decode plan fusing ``operator`` with ``config``'s layout."""
+    ``cache`` selects which :class:`~repro.hbm.plancache.PlanCache`
+    serves the plan; by default the process-wide shared cache.  The
+    returned plan is immutable and shared — never mutate it.
+    """
     if operator is None:
         operator = BitOperator.identity(config.layout().width)
-    return _cached_plan(config, operator)
+    if cache is None:
+        cache = default_plan_cache()
+    key = (config, operator)
+    return cache.get(key, lambda: DecodePlan(config, operator))
 
 
 def decode_trace(ha: np.ndarray, config: HBMConfig) -> DecodedTrace:
@@ -147,6 +159,7 @@ def decode_translated(
     pa: np.ndarray,
     translator: AddressTranslator,
     config: HBMConfig,
+    cache: PlanCache | None = None,
 ) -> DecodedTrace:
     """Fused PA -> (channel, bank, row, column) for a whole trace.
 
@@ -175,8 +188,8 @@ def decode_translated(
         )
     select, operator = first
     if select is None:
-        return plan_for(config, operator).decode(pa)
-    return plan_for(config).decode(translator.translate(pa))
+        return plan_for(config, operator, cache=cache).decode(pa)
+    return plan_for(config, cache=cache).decode(translator.translate(pa))
 
 
 def iter_decoded_chunks(
@@ -184,6 +197,7 @@ def iter_decoded_chunks(
     translator: AddressTranslator,
     config: HBMConfig,
     chunk_accesses: int = DEFAULT_CHUNK_ACCESSES,
+    cache: PlanCache | None = None,
 ):
     """Stream :func:`decode_translated` over fixed-size PA slices.
 
@@ -201,7 +215,8 @@ def iter_decoded_chunks(
         pa = np.asarray(pa, dtype=np.uint64)
     for start in range(0, pa.size, chunk_accesses):
         yield decode_translated(
-            pa[start : start + chunk_accesses], translator, config
+            pa[start : start + chunk_accesses], translator, config,
+            cache=cache,
         )
 
 

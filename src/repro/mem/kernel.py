@@ -67,16 +67,18 @@ class Kernel:
             self.sdam.release_chunk(chunk_no)
 
     # -- mapping registration (the add_addr_map() syscall backend) ----------
-    def add_addr_map(self, mapping) -> int:
+    def add_addr_map(self, mapping, namespace: str | None = None) -> int:
         """Register an address mapping; returns its mapping id.
 
         ``mapping`` is a window permutation (array-like) or a full-width
         :class:`PermutationMapping` restricted to the chunk window.  On a
         baseline kernel the id is accepted but aliases the default.
+        With ``namespace`` set (the multi-tenant service), the intern is
+        charged against that tenant's slice of the mapping budget.
         """
         if self.sdam is None:
             return 0
-        hardware_index = self.sdam.register_mapping(mapping)
+        hardware_index = self.sdam.register_mapping(mapping, namespace=namespace)
         # Software mapping ids mirror the hardware table indices 1:1.
         self._registered_mappings[hardware_index] = hardware_index
         return hardware_index

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import AllocationError, CMTError
+from repro.errors import AllocationError, CMTError, ReproError
 from repro.hbm.config import HBMConfig, hbm2_config
 from repro.hbm.fastmodel import WindowModel
 from repro.mem.kernel import Kernel
@@ -104,9 +104,13 @@ class ChunkMigrator:
 
         ``on_copy(pa_lines, read_has, write_has)``, when given, performs
         the actual data movement (the RAS layer moves modeled device
-        contents through it).  If it raises, the CMT entry is rolled
-        back to the old mapping before the exception propagates, so a
-        failed mid-copy migration never leaves the chunk half-switched.
+        contents through it).  If it raises a library error
+        (:class:`~repro.errors.ReproError`) or an :class:`OSError`, the
+        CMT entry is rolled back to the old mapping before the exception
+        propagates, so a failed mid-copy migration never leaves the
+        chunk half-switched.  Programming errors (``TypeError``...)
+        propagate as-is — they indicate a bug, not a copy fault, and
+        masking them behind a tidy rollback would hide the real state.
         """
         sdam = self.kernel.sdam
         physical = self.kernel.physical
@@ -126,7 +130,7 @@ class ChunkMigrator:
                     on_copy(pa_lines, reads, writes)
                 copy_trace = np.stack([reads, writes], axis=1).reshape(-1)
                 cost = self._model.simulate(copy_trace).makespan_ns
-            except Exception:
+            except (ReproError, OSError):
                 sdam.assign_chunk(chunk_no, old_index)
                 raise
         else:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.bitshuffle import select_window_permutation
-from repro.errors import ProfilingError
+from repro.errors import ProfilingError, ReproError
 from repro.hbm.config import HBMConfig, hbm2_config
 from repro.hbm.stats import RemapTraffic
 from repro.mem.kernel import Kernel
@@ -194,9 +194,11 @@ class AdaptiveController:
                     chunk_no, new_id, on_copy=self.on_copy
                 )
                 migrated.append(report)
-        except Exception as fault:
+        except (ReproError, OSError) as fault:
             # migrate_chunk already rolled the failing chunk back; undo
             # the chunks that had moved so the group stays whole.
+            # Programming errors propagate — a half-migrated group is
+            # the honest state when the controller itself is buggy.
             for report in reversed(migrated):
                 undo = self.migrator.migrate_chunk(report.chunk_no, old_id)
                 self.traffic.rollback_migrations += 1

@@ -8,6 +8,16 @@ several workloads concurrently — separate address spaces, one physical
 memory, one CMT — splitting the cluster budget across them and
 interleaving their external traces, the multiprogrammed scenario the
 prototype's globally-shared CMT is designed for.
+
+Re-expressed on the tenant-scoped core: each application is a
+:class:`~repro.service.tenant.TenantContext` built over one set of
+:class:`~repro.service.tenant.SharedArtifacts`, its slice of the
+mapping budget is a :class:`~repro.core.cmt.MappingNamespace` carved by
+:func:`~repro.core.cmt.partition_budget`, and every ``add_addr_map`` is
+charged against that namespace — the budget split is now *enforced*,
+not just hoped for.  Unlike the fully-isolated service
+(:mod:`repro.service.service`), the apps here deliberately share one
+kernel and one CMT, reproducing the prototype's globally-shared table.
 """
 
 from __future__ import annotations
@@ -15,19 +25,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.chunks import ChunkGeometry
+from repro.core.cmt import partition_budget
 from repro.core.sdam import SDAMController
-from repro.core.selection import select_mappings_kmeans
 from repro.cpu.cpu import CPUModel
 from repro.cpu.trace import AccessTrace, interleave_traces
 from repro.errors import ConfigError
-from repro.hbm.config import HBMConfig, hbm2_config
+from repro.hbm.config import HBMConfig
 from repro.hbm.fastmodel import WindowModel
 from repro.hbm.stats import RunStats
 from repro.mem.kernel import Kernel
 from repro.mem.malloc import MappingAwareAllocator
-from repro.profiling.profiler import profile_trace
-from repro.profiling.variables import VariableRegistry
-from repro.system.machine import CPU_COMPUTE_NS_PER_ACCESS
+from repro.service.tenant import (
+    CPU_COMPUTE_NS_PER_ACCESS,
+    SharedArtifacts,
+    TenantContext,
+)
+from repro.system.config import SystemConfig
 from repro.workloads.base import Workload
 
 __all__ = ["CorunResult", "CorunMachine"]
@@ -65,35 +78,36 @@ class CorunMachine:
             raise ConfigError("need at least one cluster per application")
         self.use_sdam = use_sdam
         self.clusters_per_app = clusters_per_app
-        self.hbm = hbm or hbm2_config()
-        self.geometry = geometry or ChunkGeometry(
-            total_bytes=self.hbm.total_bytes
-        )
+        self.shared = SharedArtifacts.create(hbm=hbm, geometry=geometry)
+        self.hbm = self.shared.hbm
+        self.geometry = self.shared.geometry
         self.cores = cores
         self.max_mappings = max_mappings
         self.seed = seed
-        self.layout = self.hbm.layout()
+        self.layout = self.shared.layout()
 
-    def _profile_one(self, workload: Workload, seed: int):
-        """Standalone profiling pass for one application."""
-        kernel = Kernel(self.geometry, sdam=None)
-        space = kernel.spawn()
-        malloc = MappingAwareAllocator(kernel, space)
-        registry = VariableRegistry()
-        base = {}
-        for spec in workload.variables():
-            va = malloc.malloc(spec.size_bytes, tag=spec.name)
-            registry.record_allocation(spec.name, va, spec.size_bytes)
-            base[spec.name] = va
-        engine = CPUModel(cores=self.cores)
-        external = engine.external_trace(workload.trace(base, seed))
-        pa = space.translate_trace(external.trace.va)
-        trace = AccessTrace(
-            va=pa,
-            is_write=external.trace.is_write,
-            variable=external.trace.variable,
+    def _app_context(self, app_index: int, workload: Workload) -> TenantContext:
+        """A tenant context for one co-running application.
+
+        Shares the machine's artifacts; profiling and K-Means selection
+        run through the tenant pipeline with the app-specific seed the
+        pre-refactor code used.
+        """
+        system = SystemConfig(
+            key=f"corun_app{app_index}",
+            label=f"corun:{workload.name}",
+            sdam=True,
+            policy="default",
+            clustering="kmeans",
+            clusters=self.clusters_per_app,
         )
-        return profile_trace(trace, registry, name=workload.name)
+        return TenantContext(
+            name=f"app{app_index}",
+            system=system,
+            shared=self.shared,
+            cores=self.cores,
+            seed=self.seed + app_index,
+        )
 
     def run(
         self,
@@ -109,6 +123,13 @@ class CorunMachine:
             if self.use_sdam
             else None
         )
+        if sdam is not None:
+            namespaces = partition_budget(
+                {f"app{i}": self.clusters_per_app for i in range(len(workloads))},
+                max_mappings=self.max_mappings,
+            )
+            for namespace in namespaces.values():
+                sdam.register_namespace(namespace)
         kernel = Kernel(self.geometry, sdam=sdam)
         engine = CPUModel(cores=self.cores)
         all_external: list[AccessTrace] = []
@@ -117,17 +138,14 @@ class CorunMachine:
         for app_index, workload in enumerate(workloads):
             mapping_of_variable: dict[int, int] = {}
             if self.use_sdam:
-                profile = self._profile_one(workload, profile_seed)
-                selection = select_mappings_kmeans(
-                    profile,
-                    self.clusters_per_app,
-                    self.layout,
-                    self.geometry,
-                    seed=self.seed + app_index,
-                    coverage=0.95,
+                context = self._app_context(app_index, workload)
+                selection = context.select(
+                    context.profile(workload, input_seed=profile_seed)
                 )
                 cluster_to_mapping = {
-                    index: kernel.add_addr_map(perm)
+                    index: kernel.add_addr_map(
+                        perm, namespace=f"app{app_index}"
+                    )
                     for index, perm in enumerate(selection.window_perms)
                 }
                 mapping_of_variable = {

@@ -1,4 +1,4 @@
-"""The full machine: allocators + kernel + CPU/accelerator + HBM.
+"""The full machine: a single-tenant façade over the tenant-scoped core.
 
 ``Machine.run(workload)`` executes the paper's whole pipeline for one
 system configuration:
@@ -14,6 +14,13 @@ system configuration:
    through the cache hierarchy, translate VA->PA->HA, and simulate the
    HBM device.
 
+The pipeline itself lives in
+:class:`~repro.service.tenant.TenantContext`; ``Machine`` is the thin
+single-tenant façade that builds one private
+:class:`~repro.service.tenant.SharedArtifacts` + tenant context pair
+and delegates.  Multi-tenant serving constructs the same contexts
+directly through :mod:`repro.service` and shares the artifacts.
+
 The returned :class:`MachineResult` carries the memory statistics plus
 an end-to-end time model (memory makespan + a compute term proportional
 to program accesses) from which experiment-level speedups are computed.
@@ -23,47 +30,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.chunks import ChunkGeometry
-from repro.core.hashing import default_hash_mapping
-from repro.core.mapping import identity_mapping
-from repro.core.sdam import GlobalMappingTranslator, SDAMController
-from repro.core.selection import (
-    MappingSelection,
-    select_application_mapping,
-    select_mappings_dl,
-    select_mappings_kmeans,
-)
-from repro.core.bitshuffle import select_global_mapping
-from repro.cpu.accelerator import AcceleratorModel
-from repro.cpu.cpu import CPUModel, ExternalTraceResult
-from repro.cpu.trace import AccessTrace
+from repro.core.selection import MappingSelection
+from repro.cpu.cpu import ExternalTraceResult
 from repro.errors import ConfigError, warn_deprecated_once
-from repro.hbm.backend import MemoryBackend, available_backends, create_backend
-from repro.hbm.config import HBMConfig, hbm2_config
-from repro.hbm.decode import (
-    decode_trace,
-    decode_translated,
-    iter_decoded_chunks,
-)
-from repro.hbm.guard import DEFAULT_GUARD_SAMPLE, GuardedBackend, TierFactory
+from repro.hbm.config import HBMConfig
 from repro.hbm.stats import BackendHealth, RunStats
-from repro.mem.kernel import Kernel
-from repro.mem.malloc import MappingAwareAllocator
 from repro.ml.dlkmeans import AutoencoderConfig
-from repro.profiling.bfrv import bit_flip_rate_vector
-from repro.profiling.profiler import WorkloadProfile, profile_trace
-from repro.profiling.variables import VariableRegistry
+from repro.profiling.profiler import WorkloadProfile
+from repro.service.tenant import (
+    ACCEL_COMPUTE_NS_PER_ACCESS,
+    CPU_COMPUTE_NS_PER_ACCESS,
+    SharedArtifacts,
+    TenantContext,
+)
 from repro.system.config import SystemConfig
 from repro.workloads.base import Workload
 
-__all__ = ["ExternalSummary", "Machine", "MachineResult"]
-
-# End-to-end time model: compute overlaps poorly with a saturated memory
-# system, so total time = memory makespan + accesses * per-access work.
-CPU_COMPUTE_NS_PER_ACCESS = 1.0  # per-access pipeline work, BOOM-scaled
-ACCEL_COMPUTE_NS_PER_ACCESS = 0.15  # deep custom pipelines
+__all__ = [
+    "ACCEL_COMPUTE_NS_PER_ACCESS",
+    "CPU_COMPUTE_NS_PER_ACCESS",
+    "ExternalSummary",
+    "Machine",
+    "MachineResult",
+]
 
 
 @dataclass(frozen=True)
@@ -251,7 +241,17 @@ class MachineResult:
 
 
 class Machine:
-    """One simulated platform bound to a system configuration."""
+    """One simulated platform bound to a system configuration.
+
+    A thin single-tenant façade: construction builds one private
+    :class:`~repro.service.tenant.SharedArtifacts` and one
+    :class:`~repro.service.tenant.TenantContext`, and every pipeline
+    method delegates to the context.  The familiar attributes
+    (``system``, ``hbm``, ``geometry``, ``engine``, ``backend``,
+    ``layout``, ...) remain available on the façade.
+    """
+
+    SELECTION_COVERAGE = TenantContext.SELECTION_COVERAGE
 
     def __init__(
         self,
@@ -273,17 +273,6 @@ class Machine:
         guard_mode: str = "demote",
         backend_faults=None,
     ):
-        self.system = system
-        self.hbm = hbm or hbm2_config()
-        self.geometry = geometry or ChunkGeometry(total_bytes=self.hbm.total_bytes)
-        if engine == "cpu":
-            self.engine = CPUModel(cores=cores)
-            self.compute_ns_per_access = CPU_COMPUTE_NS_PER_ACCESS
-        elif engine == "accelerator":
-            self.engine = AcceleratorModel()
-            self.compute_ns_per_access = ACCEL_COMPUTE_NS_PER_ACCESS
-        else:
-            raise ConfigError(f"unknown engine {engine!r}")
         if memory_model is not None:
             # Pre-redesign spelling of the backend selector.
             warn_deprecated_once(
@@ -299,173 +288,68 @@ class Machine:
             backend = memory_model
         if backend is None:
             backend = "fast"
-        if backend not in available_backends():
-            raise ConfigError(
-                f"unknown memory model {backend!r}; "
-                f"available: {', '.join(available_backends())}"
-            )
-        self.backend = backend
-        self.backend_options = dict(backend_options or {})
-        if guard_mode not in ("demote", "raise"):
-            raise ConfigError(
-                f"unknown guard mode {guard_mode!r}; "
-                "expected 'demote' or 'raise'"
-            )
-        if guard_sample is not None and not (0.0 < guard_sample <= 1.0):
-            raise ConfigError("guard_sample must be in (0, 1]")
-        self.guard = bool(guard)
-        self.guard_sample = guard_sample
-        self.guard_mode = guard_mode
-        self.backend_faults = backend_faults
-        self.chunk_accesses = chunk_accesses
-        self.dl_config = dl_config
-        self.seed = seed
-        self.chunk_colours = chunk_colours
-        self.debug_ha = debug_ha
-        self.layout = self.hbm.layout()
+        shared = SharedArtifacts.create(
+            hbm=hbm,
+            geometry=geometry,
+            backend=backend,
+            backend_options=backend_options,
+        )
+        self._tenant = TenantContext(
+            name="machine",
+            system=system,
+            shared=shared,
+            engine=engine,
+            cores=cores,
+            chunk_accesses=chunk_accesses,
+            dl_config=dl_config,
+            seed=seed,
+            chunk_colours=chunk_colours,
+            debug_ha=debug_ha,
+            guard=guard,
+            guard_sample=guard_sample,
+            guard_mode=guard_mode,
+            backend_faults=backend_faults,
+        )
+        # Façade mirrors of the tenant's configuration, kept for the
+        # pre-refactor public surface (experiments, stages, tests).
+        self.shared = shared
+        self.system = system
+        self.hbm = shared.hbm
+        self.geometry = shared.geometry
+        self.layout = self._tenant.layout
+        self.engine = self._tenant.engine
+        self.compute_ns_per_access = self._tenant.compute_ns_per_access
+        self.backend = self._tenant.backend
+        self.backend_options = self._tenant.backend_options
+        self.guard = self._tenant.guard
+        self.guard_sample = self._tenant.guard_sample
+        self.guard_mode = self._tenant.guard_mode
+        self.backend_faults = self._tenant.backend_faults
+        self.chunk_accesses = self._tenant.chunk_accesses
+        self.dl_config = self._tenant.dl_config
+        self.seed = self._tenant.seed
+        self.chunk_colours = self._tenant.chunk_colours
+        self.debug_ha = self._tenant.debug_ha
 
     @property
     def memory_model(self) -> str:
         """Deprecated alias for :attr:`backend`."""
         return self.backend
 
-    # -- building blocks -----------------------------------------------------
-    #: VectorModel execution knobs that must not leak into the guard's
-    #: single-process replay instances (they change *how* a result is
-    #: computed, never *what* it is).
-    _EXECUTION_OPTIONS = ("workers", "shard_timeout", "retry", "faults")
+    @property
+    def tenant(self) -> TenantContext:
+        """The tenant context this façade drives."""
+        return self._tenant
 
-    def _memory(self) -> MemoryBackend:
-        options = dict(self.backend_options)
-        if (
-            self.backend == "vector"
-            and self.backend_faults is not None
-            and "faults" not in options
-        ):
-            options["faults"] = self.backend_faults
-        backend = create_backend(
-            self.backend,
-            self.hbm,
-            max_inflight=self.engine.max_inflight,
-            **options,
-        )
-        if not self.guard or self.backend == "event":
-            return backend
-        replay_options = {
-            key: value
-            for key, value in self.backend_options.items()
-            if key not in self._EXECUTION_OPTIONS
-        }
-        max_inflight = self.engine.max_inflight
-        return GuardedBackend(
-            backend,
-            primary_factory=TierFactory(
-                self.backend,
-                self.hbm,
-                max_inflight=max_inflight,
-                **replay_options,
-            ),
-            reference_factory=TierFactory(
-                "event", self.hbm, max_inflight=max_inflight
-            ),
-            primary_name=self.backend,
-            reference_name="event",
-            sample=(
-                self.guard_sample
-                if self.guard_sample is not None
-                else DEFAULT_GUARD_SAMPLE
-            ),
-            mode=self.guard_mode,
-            faults=self.backend_faults,
-            seed=self.seed,
-        )
-
-    def _allocate(
-        self,
-        kernel: Kernel,
-        workload: Workload,
-        mapping_of_variable: dict[int, int],
-    ):
-        space = kernel.spawn()
-        allocator = MappingAwareAllocator(kernel, space)
-        registry = VariableRegistry()
-        base: dict[str, int] = {}
-        for variable_id, spec in enumerate(workload.variables()):
-            mapping_id = mapping_of_variable.get(variable_id, 0)
-            va = allocator.malloc(
-                spec.size_bytes, mapping_id=mapping_id, tag=spec.name
-            )
-            registry.record_allocation(spec.name, va, spec.size_bytes)
-            base[spec.name] = va
-        return space, allocator, base, registry
-
-    def _external(self, workload: Workload, base: dict[str, int], seed: int):
-        thread_traces = workload.trace(base, input_seed=seed)
-        return self.engine.external_trace(thread_traces)
-
-    # -- profiling pass --------------------------------------------------------
+    # -- the pipeline (delegated to the tenant context) ----------------------
     def profile(self, workload: Workload, input_seed: int = 0) -> WorkloadProfile:
         """Offline profiling on the baseline system (Section 6.2)."""
-        kernel = Kernel(self.geometry, sdam=None)
-        space, _allocator, base, registry = self._allocate(kernel, workload, {})
-        external = self._external(workload, base, input_seed)
-        pa = space.translate_trace(external.trace.va)
-        pa_trace = AccessTrace(
-            va=pa,
-            is_write=external.trace.is_write,
-            variable=external.trace.variable,
-        )
-        return profile_trace(pa_trace, registry, name=workload.name)
-
-    # -- mapping selection -------------------------------------------------------
-    # Major-variable coverage for clustered selection.  The paper's 80%
-    # rule identifies majors in real applications with thousands of
-    # variables; our Table-1 models *are* the majors by construction,
-    # so selection covers (nearly) all of them and leaves only the
-    # modelled minor tail on the default mapping.
-    SELECTION_COVERAGE = 0.95
+        return self._tenant.profile(workload, input_seed=input_seed)
 
     def select(self, profile: WorkloadProfile) -> MappingSelection:
-        system = self.system
-        if system.clustering == "kmeans":
-            return select_mappings_kmeans(
-                profile,
-                system.clusters,
-                self.layout,
-                self.geometry,
-                seed=self.seed,
-                coverage=self.SELECTION_COVERAGE,
-            )
-        if system.clustering == "dl":
-            return select_mappings_dl(
-                profile,
-                system.clusters,
-                self.layout,
-                self.geometry,
-                config=self.dl_config,
-                coverage=self.SELECTION_COVERAGE,
-            )
-        return select_application_mapping(profile, self.layout, self.geometry)
+        """Mapping selection for this machine's system configuration."""
+        return self._tenant.select(profile)
 
-    def _global_translator(
-        self, mix_profile: WorkloadProfile | None
-    ) -> GlobalMappingTranslator:
-        if self.system.policy == "default":
-            return GlobalMappingTranslator(identity_mapping(self.layout.width))
-        if self.system.policy == "hash":
-            return GlobalMappingTranslator(default_hash_mapping(self.layout))
-        # Global bit-shuffle from the workload-mix profile.
-        if mix_profile is None or not mix_profile.profiles:
-            return GlobalMappingTranslator(identity_mapping(self.layout.width))
-        addresses = np.concatenate(
-            [p.addresses for p in mix_profile.profiles]
-        )
-        rates = bit_flip_rate_vector(addresses, self.layout.width)
-        return GlobalMappingTranslator(
-            select_global_mapping(rates, self.layout)
-        )
-
-    # -- the full pipeline ----------------------------------------------------
     def run(
         self,
         workload: Workload,
@@ -477,98 +361,16 @@ class Machine:
     ) -> MachineResult:
         """Profile (if needed), select mappings, evaluate, simulate.
 
-        ``mix_profile`` overrides the profile used by the global
-        ``BS+BSM`` policy — the experiment driver passes the suite-wide
-        mix, matching the paper's methodology.  ``profile`` and
-        ``selection`` inject precomputed stage outputs (the experiment
-        runner's cache); when given, the corresponding pipeline stage
-        is skipped.
+        See :meth:`repro.service.tenant.TenantContext.run` for the
+        parameter semantics.
         """
-        system = self.system
-        profiling_seconds = 0.0
-
-        if system.sdam:
-            if selection is None:
-                if profile is None:
-                    profile = self.profile(workload, input_seed=profile_seed)
-                selection = self.select(profile)
-            profiling_seconds = selection.elapsed_seconds
-            sdam = SDAMController(self.geometry)
-            kernel = Kernel(
-                self.geometry, sdam=sdam, chunk_colours=self.chunk_colours
-            )
-            cluster_to_mapping = {
-                index: kernel.add_addr_map(perm)
-                for index, perm in enumerate(selection.window_perms)
-            }
-            mapping_of_variable = {
-                variable_id: cluster_to_mapping[cluster]
-                for variable_id, cluster in selection.variable_cluster.items()
-            }
-        else:
-            kernel = Kernel(
-                self.geometry, sdam=None, chunk_colours=self.chunk_colours
-            )
-            mapping_of_variable = {}
-            if system.policy == "bsm" and mix_profile is None:
-                mix_profile = profile or self.profile(
-                    workload, input_seed=profile_seed
-                )
-
-        space, _allocator, base, _registry = self._allocate(
-            kernel, workload, mapping_of_variable
-        )
-        external = self._external(workload, base, eval_seed)
-        # The fused datapath: VA -> PA through the page table, then one
-        # precomposed mapping∘decode pass per translation group straight
-        # into the memory backend — no intermediate HA array.  With
-        # ``debug_ha`` the legacy two-step (translate, then decode) runs
-        # instead; the two are bit-identical (tested).
-        pa = space.translate_trace(external.trace.va)
-        if system.sdam:
-            translator = kernel.address_translator
-        else:
-            translator = self._global_translator(mix_profile)
-        backend = self._memory()
-        if self.debug_ha:
-            ha = translator.translate(pa)
-            stats = backend.simulate_decoded(decode_trace(ha, self.hbm))
-        elif self.chunk_accesses is not None or self.backend == "vector":
-            # Streaming evaluate: decoded chunks flow straight into the
-            # backend, so the decoded trace never fully materialises.
-            # Chunking is bit-identical to whole-trace simulation for
-            # every built-in tier (tested), so this only changes peak
-            # memory.  Opt-in via ``chunk_accesses`` for fast/event;
-            # the vector tier streams by default.
-            stats = backend.simulate_decoded(
-                iter_decoded_chunks(
-                    pa,
-                    translator,
-                    self.hbm,
-                    **(
-                        {"chunk_accesses": self.chunk_accesses}
-                        if self.chunk_accesses is not None
-                        else {}
-                    ),
-                )
-            )
-        else:
-            stats = backend.simulate_decoded(
-                decode_translated(pa, translator, self.hbm)
-            )
-        intensity = getattr(workload, "compute_intensity", 1.0)
-        compute_ns = (
-            external.program_accesses * self.compute_ns_per_access * intensity
-        )
-        return MachineResult(
-            workload=workload.name,
-            system=system.label,
-            stats=stats,
-            external=external,
+        return self._tenant.run(
+            workload,
+            profile_seed=profile_seed,
+            eval_seed=eval_seed,
+            mix_profile=mix_profile,
+            profile=profile,
             selection=selection,
-            compute_ns=compute_ns,
-            profiling_seconds=profiling_seconds,
-            backend_health=getattr(backend, "last_health", None),
         )
 
     # -- RAS -------------------------------------------------------------------
@@ -582,19 +384,7 @@ class Machine:
         and verifies the surviving contents against a never-faulted
         twin.  Returns a :class:`~repro.ras.campaign.CampaignResult`.
         """
-        from repro.ras.campaign import ALL_KINDS, run_campaign
-
-        return run_campaign(
-            seed=self.seed if seed is None else seed,
-            kinds=kinds or ALL_KINDS,
-            quick=quick,
-            config=self.hbm,
-            geometry=self.geometry,
-            backend=self.backend,
-            guard=self.guard,
-            guard_sample=self.guard_sample,
-            guard_faults=self.backend_faults,
-        )
+        return self._tenant.ras_campaign(seed=seed, kinds=kinds, quick=quick)
 
     # -- online adaptation ------------------------------------------------------
     def adaptive_campaign(self, seed: int | None = None, quick: bool = True):
@@ -607,15 +397,4 @@ class Machine:
         static mapping.  Returns an
         :class:`~repro.online.campaign.AdaptiveCampaignResult`.
         """
-        from repro.online.campaign import run_adaptive_campaign
-
-        return run_adaptive_campaign(
-            seed=self.seed if seed is None else seed,
-            quick=quick,
-            config=self.hbm,
-            geometry=self.geometry,
-            backend=self.backend,
-            guard=self.guard,
-            guard_sample=self.guard_sample,
-            guard_faults=self.backend_faults,
-        )
+        return self._tenant.adaptive_campaign(seed=seed, quick=quick)

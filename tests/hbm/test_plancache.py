@@ -1,0 +1,131 @@
+"""Tests for the shared immutable plan cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import PermutationMapping, identity_mapping
+from repro.errors import ConfigError
+from repro.hbm.config import hbm2_config
+from repro.hbm.decode import DecodePlan, plan_for
+from repro.hbm.plancache import PlanCache, default_plan_cache
+
+CONFIG = hbm2_config()
+
+
+class TestPlanCache:
+    def test_builds_on_miss_returns_same_object_on_hit(self):
+        cache = PlanCache()
+        built = []
+
+        def build():
+            built.append(1)
+            return object()
+
+        first = cache.get("k", build)
+        second = cache.get("k", build)
+        assert first is second
+        assert built == [1]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        cache.get("a", lambda: "A")
+        cache.get("b", lambda: "B")
+        cache.get("a", lambda: "A")  # refresh a: b is now the LRU entry
+        cache.get("c", lambda: "C")
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_stats_snapshot(self):
+        cache = PlanCache(maxsize=4)
+        cache.get("a", lambda: 1)
+        cache.get("a", lambda: 1)
+        stats = cache.stats()
+        assert stats == {
+            "size": 1,
+            "maxsize": 4,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+        }
+
+    def test_clear_keeps_counters(self):
+        cache = PlanCache()
+        cache.get("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ConfigError):
+            PlanCache(maxsize=0)
+
+    def test_hit_rate_zero_before_lookups(self):
+        assert PlanCache().hit_rate == 0.0
+
+    def test_concurrent_gets_build_once(self):
+        cache = PlanCache()
+        built = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(50):
+                cache.get("shared", lambda: built.append(1) or object())
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(built) == 1
+        assert cache.hits == 8 * 50 - 1
+
+    def test_default_cache_is_process_wide(self):
+        assert default_plan_cache() is default_plan_cache()
+
+
+class TestPlanForIntegration:
+    def test_plan_for_shares_through_explicit_cache(self):
+        cache = PlanCache()
+        first = plan_for(CONFIG, cache=cache)
+        second = plan_for(CONFIG, cache=cache)
+        assert first is second
+        assert isinstance(first, DecodePlan)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_identity_operator_dedups_with_none(self):
+        """``operator=None`` normalises to the identity: one plan."""
+        cache = PlanCache()
+        layout = CONFIG.layout()
+        plain = plan_for(CONFIG, cache=cache)
+        mapped = plan_for(
+            CONFIG, identity_mapping(layout.width).as_operator(), cache=cache
+        )
+        assert plain is mapped
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_distinct_operators_get_distinct_plans(self):
+        cache = PlanCache()
+        layout = CONFIG.layout()
+        source = np.roll(np.arange(layout.width), 1)
+        shuffled = PermutationMapping(source).as_operator()
+        plain = plan_for(CONFIG, cache=cache)
+        mapped = plan_for(CONFIG, shuffled, cache=cache)
+        assert plain is not mapped
+        assert cache.misses == 2
+
+    def test_cached_plan_decodes_identically(self):
+        cache = PlanCache()
+        pa = np.arange(0, 1 << 16, 64, dtype=np.uint64)
+        fresh = DecodePlan(CONFIG).decode(pa)
+        cached = plan_for(CONFIG, cache=cache).decode(pa)
+        np.testing.assert_array_equal(fresh.channel, cached.channel)
+        np.testing.assert_array_equal(fresh.bank, cached.bank)
+        np.testing.assert_array_equal(fresh.row, cached.row)
+        np.testing.assert_array_equal(fresh.column, cached.column)

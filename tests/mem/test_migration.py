@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.chunks import ChunkGeometry, MiB
 from repro.core.sdam import SDAMController
-from repro.errors import AllocationError, CMTError
+from repro.errors import AllocationError, CMTError, DeviceFaultError
 from repro.mem.kernel import Kernel
 from repro.mem.malloc import MappingAwareAllocator
 from repro.mem.migration import ChunkMigrator
@@ -143,6 +143,37 @@ class TestErrorPaths:
             0, SMALL.chunk_bytes, 64, dtype=np.uint64
         )
         assert np.unique(kernel.sdam.translate(pa)).size == pa.size
+
+    def test_library_error_rolls_back_cmt(self):
+        """Structured library faults get the same rollback as OSError."""
+        kernel, space, malloc, migrator = setup_machine()
+        new_mapping = malloc.add_addr_map(rolled(3))
+        chunk_no = self.populate(kernel, space, malloc)
+
+        def device_fault(_pa, _reads, _writes):
+            raise DeviceFaultError("modeled bank offline mid-copy")
+
+        with pytest.raises(DeviceFaultError):
+            migrator.migrate_chunk(chunk_no, new_mapping, on_copy=device_fault)
+        assert kernel.sdam.cmt.mapping_index_of(chunk_no) == 0
+        assert kernel.physical.mapping_of_chunk(chunk_no) == 0
+
+    def test_programming_error_propagates_unmasked(self):
+        """A bug in the copy callback is not a copy fault: TypeError
+        escapes the narrowed handler instead of being dressed up as a
+        tidy rolled-back migration."""
+        kernel, space, malloc, migrator = setup_machine()
+        new_mapping = malloc.add_addr_map(rolled(4))
+        chunk_no = self.populate(kernel, space, malloc)
+
+        def buggy_copy(_pa, _reads, _writes):
+            return None + 1  # deliberate TypeError
+
+        with pytest.raises(TypeError):
+            migrator.migrate_chunk(chunk_no, new_mapping, on_copy=buggy_copy)
+        # No rollback happened — the honest (half-switched) state is
+        # left for the crash dump rather than silently papered over.
+        assert kernel.sdam.cmt.mapping_index_of(chunk_no) == new_mapping
 
     def test_zero_live_lines_is_a_pure_table_write(self):
         kernel, _space, malloc, migrator = setup_machine()

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.chunks import ChunkGeometry
 from repro.core.sdam import SDAMController
-from repro.errors import ProfilingError
+from repro.errors import DeviceFaultError, ProfilingError
 from repro.faults.sites import DEVICE_HBM_BANK
 from repro.hbm.config import hbm2_config
 from repro.mem.kernel import Kernel
@@ -141,7 +141,9 @@ def test_rollback_on_midmigration_fault(hbm, geometry):
     def faulty_copy(pa_lines, reads, writes):
         copies["count"] += 1
         if copies["count"] == 2:
-            raise RuntimeError(f"injected {DEVICE_HBM_BANK} fault mid-copy")
+            raise DeviceFaultError(
+                f"injected {DEVICE_HBM_BANK} fault mid-copy"
+            )
 
     controller = AdaptiveController(
         kernel, mapping_id=0, hbm=hbm, on_copy=faulty_copy
@@ -172,6 +174,31 @@ def test_rollback_on_midmigration_fault(hbm, geometry):
     assert controller.traffic.bytes_moved > 0
 
 
+def test_programming_error_escapes_remap_handler(hbm, geometry):
+    """A TypeError in the copy callback is a bug, not a device fault:
+    it must propagate out of ``observe`` rather than be journalled as
+    a tidy ``remap-failed`` entry."""
+    workload = PhaseShiftWorkload(
+        buffer_bytes=2 * 1024 * 1024,
+        accesses_per_phase=WINDOW * 12,
+        phases=("stream", "tiled"),
+    )
+    kernel, pa = build_stack(workload, geometry)
+
+    def buggy_copy(pa_lines, reads, writes):
+        return None + 1  # deliberate TypeError
+
+    controller = AdaptiveController(
+        kernel, mapping_id=0, hbm=hbm, on_copy=buggy_copy
+    )
+    with pytest.raises(TypeError):
+        feed(controller, pa)
+    assert controller.traffic.failed_remaps == 0
+    assert not [
+        e for e in controller.journal if e["kind"] == "remap-failed"
+    ]
+
+
 def test_recovers_after_transient_fault(hbm, geometry):
     """Once the injected fault clears, the controller retries on the
     next phase event and commits."""
@@ -187,7 +214,9 @@ def test_recovers_after_transient_fault(hbm, geometry):
     def transient(pa_lines, reads, writes):
         copies["count"] += 1
         if copies["count"] == 1:
-            raise RuntimeError(f"injected {DEVICE_HBM_BANK} fault mid-copy")
+            raise DeviceFaultError(
+                f"injected {DEVICE_HBM_BANK} fault mid-copy"
+            )
 
     controller = AdaptiveController(
         kernel, mapping_id=0, hbm=hbm, on_copy=transient

@@ -1,0 +1,112 @@
+"""Tests for tenant admission and mapping-budget carving."""
+
+import pytest
+
+from repro.errors import CMTError, ConfigError
+from repro.service.registry import TenantRegistry, TenantSpec
+from repro.service.tenant import SharedArtifacts
+from repro.system.config import SystemConfig, system_by_key
+
+
+def registry(**kwargs) -> TenantRegistry:
+    kwargs.setdefault("shared", SharedArtifacts.create())
+    return TenantRegistry(**kwargs)
+
+
+class TestTenantSpec:
+    def test_system_resolved_from_key(self):
+        spec = TenantSpec("t", system="bs_dm")
+        assert spec.resolved_system().key == "bs_dm"
+
+    def test_system_config_passes_through(self):
+        system = system_by_key("sdm_bsm")
+        assert TenantSpec("t", system=system).resolved_system() is system
+
+    def test_defaults(self):
+        spec = TenantSpec("t")
+        assert spec.quota == 4
+        assert isinstance(spec.resolved_system(), SystemConfig)
+
+
+class TestAdmission:
+    def test_namespaces_carved_contiguously(self):
+        reg = registry()
+        a = reg.admit(TenantSpec("a", quota=4))
+        b = reg.admit(TenantSpec("b", quota=2))
+        assert a.namespace.base == 1 and a.namespace.end == 5
+        assert b.namespace.base == 5 and b.namespace.end == 7
+        assert not a.namespace.overlaps(b.namespace)
+        assert reg.remaining_slots == 256 - 1 - 6
+
+    def test_duplicate_name_rejected(self):
+        reg = registry()
+        reg.admit(TenantSpec("a"))
+        with pytest.raises(ConfigError, match="already admitted"):
+            reg.admit(TenantSpec("a"))
+
+    def test_zero_quota_rejected(self):
+        with pytest.raises(ConfigError, match="quota"):
+            registry().admit(TenantSpec("a", quota=0))
+
+    def test_budget_exhaustion(self):
+        reg = registry(max_mappings=8)  # 7 carvable after identity
+        reg.admit(TenantSpec("a", quota=4))
+        with pytest.raises(CMTError, match="budget exhausted"):
+            reg.admit(TenantSpec("b", quota=4))
+        # The failed admission reserved nothing.
+        assert "b" not in reg
+        reg.admit(TenantSpec("b", quota=3))
+
+    def test_tiny_table_rejected(self):
+        with pytest.raises(ConfigError):
+            registry(max_mappings=1)
+
+    def test_contexts_share_artifacts(self):
+        shared = SharedArtifacts.create()
+        reg = registry(shared=shared)
+        a = reg.admit(TenantSpec("a"))
+        b = reg.admit(TenantSpec("b"))
+        assert a.shared is shared and b.shared is shared
+        assert a.namespace != b.namespace
+
+
+class TestEviction:
+    def test_evicted_slice_is_reused_first_fit(self):
+        reg = registry()
+        reg.admit(TenantSpec("a", quota=4))
+        reg.admit(TenantSpec("b", quota=2))
+        before = reg.remaining_slots
+        reg.evict("a")
+        assert "a" not in reg
+        assert reg.remaining_slots == before + 4
+        # A smaller tenant lands inside the freed slice.
+        c = reg.admit(TenantSpec("c", quota=3))
+        assert c.namespace.base == 1
+        # The remainder of the slice is still carvable.
+        d = reg.admit(TenantSpec("d", quota=1))
+        assert d.namespace.base == 4
+
+    def test_evict_unknown_rejected(self):
+        with pytest.raises(ConfigError, match="not admitted"):
+            registry().evict("ghost")
+
+    def test_lookups(self):
+        reg = registry()
+        context = reg.admit(TenantSpec("a"))
+        assert reg.get("a") is context
+        assert "a" in reg and len(reg) == 1
+        assert reg.names == ["a"]
+        assert reg.contexts() == [context]
+        with pytest.raises(ConfigError):
+            reg.get("ghost")
+
+    def test_report_shows_partition(self):
+        reg = registry()
+        reg.admit(TenantSpec("a", quota=4))
+        report = reg.report()
+        assert report["max_mappings"] == 256
+        assert report["tenants"]["a"] == {
+            "tenant": "a",
+            "base": 1,
+            "capacity": 4,
+        }

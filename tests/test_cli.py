@@ -217,3 +217,29 @@ class TestCampaignCheckpointFlags:
         assert main(base + ["--resume", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert data["resumed"] is True
+
+
+class TestServeCommand:
+    def test_serve_selftest_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "service_report.json"
+        assert main([
+            "serve", "--selftest", "--quick", "--tenants", "2",
+            "--no-controllers", "--out", str(out),
+        ]) == 0
+        assert "ISOLATED" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert data["isolated"] is True
+        assert data["tenants"] == ["tenant0", "tenant1"]
+        assert data["mismatches"] == []
+
+    def test_serve_json_output(self, capsys):
+        assert main([
+            "serve", "--quick", "--tenants", "2", "--no-controllers",
+            "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["isolated"] is True
+
+    def test_serve_rejects_quick_and_full(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--quick", "--full"])
