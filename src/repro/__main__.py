@@ -457,18 +457,112 @@ def cmd_ras(args) -> int:
     return 0
 
 
+def _cmd_serve_soak(args) -> int:
+    """Continuous soak: N tenant lanes under sustained load.
+
+    Submits round-robin traffic at every lane for ``--duration``
+    seconds (sheds and probation rejections are expected and
+    journaled), optionally with an injected ``service.*`` fault, then
+    drains and gates on the health journal: exit 0 when the
+    conservation law held, 1 on violations, 3 on interrupt — the same
+    contract as ``ras``/``adapt``.
+    """
+    import json
+    import time as clock
+
+    from repro.errors import ServiceOverloadError, TenantQuarantinedError
+    from repro.faults import FaultPlan
+    from repro.service import ServiceFrontend, TenantSpec
+    from repro.workloads.synthetic import StridedCopyWorkload
+
+    faults = None
+    if args.fault:
+        faults = FaultPlan.single(
+            args.fault, times=max(3, args.load), match="*"
+        )
+    frontend = ServiceFrontend(
+        queue_depth=args.queue_depth,
+        faults=faults,
+        max_strikes=3,
+        quarantine_s=0.1,
+        supervise_interval_s=0.005,
+    )
+    interrupted = False
+    drain_problem = None
+    try:
+        try:
+            for index in range(args.load):
+                frontend.admit(
+                    TenantSpec(
+                        name=f"soak{index:03d}",
+                        system="bs_dm",
+                        quota=2,
+                        seed=args.seed + index,
+                        backend="fast",
+                    )
+                )
+            workload = StridedCopyWorkload(
+                stride_lines=4, accesses_per_thread=512
+            )
+            deadline = clock.monotonic() + args.duration
+            index = 0
+            while clock.monotonic() < deadline:
+                name = f"soak{index % args.load:03d}"
+                try:
+                    frontend.submit(name, workload, eval_seed=index)
+                except (ServiceOverloadError, TenantQuarantinedError):
+                    pass  # journaled by the front-end; keep the pressure on
+                index += 1
+                clock.sleep(0.001)
+            try:
+                frontend.drain(timeout=max(60.0, args.duration * 4))
+            except Exception as error:  # noqa: BLE001 — gate below
+                drain_problem = str(error)
+        except KeyboardInterrupt:
+            interrupted = True
+        health = frontend.health
+        payload = health.to_dict()
+        if drain_problem:
+            payload["violations"] = payload["violations"] + [drain_problem]
+    finally:
+        frontend.close()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(health.summary())
+        if args.out:
+            print(f"health journal written to {args.out}")
+    if interrupted:
+        print("soak interrupted", file=sys.stderr)
+        return 3
+    if payload["violations"]:
+        for problem in payload["violations"]:
+            print(f"error: service health violated: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_serve(args) -> int:
-    """Run the multi-tenant service isolation selftest."""
+    """Serve: soak mode (``--load``) or the isolation selftest."""
     import json
 
     from repro.service import run_service_campaign
 
-    result = run_service_campaign(
-        seed=args.seed,
-        tenants=args.tenants,
-        quick=not args.full,
-        controllers=not args.no_controllers,
-    )
+    if args.load is not None:
+        return _cmd_serve_soak(args)
+    try:
+        result = run_service_campaign(
+            seed=args.seed,
+            tenants=args.tenants,
+            quick=not args.full,
+            controllers=not args.no_controllers,
+        )
+    except KeyboardInterrupt:
+        print("selftest interrupted", file=sys.stderr)
+        return 3
     payload = result.to_dict()
     if args.out:
         with open(args.out, "w") as fh:
@@ -729,6 +823,35 @@ def main(argv: list[str] | None = None) -> int:
         "--no-controllers",
         action="store_true",
         help="skip the per-tenant adaptive/RAS controller leg",
+    )
+    serve.add_argument(
+        "--load",
+        type=int,
+        default=None,
+        metavar="N",
+        help="soak mode: admit N tenant lanes and submit round-robin "
+        "traffic for --duration seconds (health journal gates the "
+        "exit code)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="soak duration in seconds (with --load; default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="per-lane bounded queue depth in soak mode (default 8)",
+    )
+    serve.add_argument(
+        "--fault",
+        default=None,
+        metavar="SITE",
+        help="inject a service.* fault during the soak "
+        "(e.g. service.lane.crash)",
     )
     serve.add_argument(
         "--out", default=None, help="write the isolation report as JSON here"

@@ -47,9 +47,14 @@ from repro.ras import (
     RASReport,
 )
 from repro.ras import run_campaign as run_ras_campaign
+from repro.errors import ServiceOverloadError, TenantQuarantinedError
 from repro.service import (
+    JobHandle,
+    LaneSupervisor,
     MappingService,
     ServiceCampaignResult,
+    ServiceFrontend,
+    ServiceHealth,
     SharedArtifacts,
     TenantContext,
     TenantRegistry,
@@ -84,13 +89,19 @@ __all__ = [
     "DeviceFaultPlan",
     "DeviceFaultSpec",
     "FaultPlan",
+    "JobHandle",
+    "LaneSupervisor",
     "MappingSelection",
     "MappingService",
     "RASReport",
     "RetryPolicy",
     "ServiceCampaignResult",
+    "ServiceFrontend",
+    "ServiceHealth",
+    "ServiceOverloadError",
     "Session",
     "SharedArtifacts",
+    "TenantQuarantinedError",
     "TenantContext",
     "TenantRegistry",
     "TenantSpec",

@@ -141,6 +141,52 @@ class BackendDivergenceError(SimulationError):
         self.report = dict(report or {})
 
 
+class ServiceError(ReproError):
+    """The multi-tenant serving layer could not accept or finish work."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control shed a job instead of queueing it.
+
+    Raised by the continuous front-end when a tenant's lane queue (or
+    the service-wide pending bound) is full.  Shedding is structured,
+    never silent: the shed is journaled in the
+    :class:`~repro.service.health.ServiceHealth` before this is raised,
+    and ``retry_after_s`` tells the client when resubmitting is likely
+    to succeed (an estimate from the lane's observed service rate).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str | None = None,
+        retry_after_s: float = 0.0,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = float(retry_after_s)
+
+
+class TenantQuarantinedError(ServiceError):
+    """A job was submitted to a tenant the supervisor has quarantined.
+
+    The tenant's lane accumulated too many strikes (crashes, exhausted
+    retries) and is serving a probation window before its lane is
+    restarted from a rebuilt context.  ``until_s`` is the remaining
+    probation time when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str | None = None,
+        until_s: float | None = None,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.until_s = until_s
+
+
 class RASError(ReproError):
     """The RAS subsystem was misused or could not complete a repair."""
 

@@ -1,6 +1,6 @@
 """Deterministic fault injection for resilience testing.
 
-Three site families share the namespace of :mod:`repro.faults.sites`:
+Four site families share the namespace of :mod:`repro.faults.sites`:
 
 * the experiment engine's failure paths — corrupt cache entries,
   crashing workers, stalled cells, broken process pools — exercised
@@ -11,7 +11,11 @@ Three site families share the namespace of :mod:`repro.faults.sites`:
 * guarded backend execution — shard crashes/stalls, corrupted shard
   stats, forced cross-tier divergence — exercised through the
   ``backend.*`` family, fired by the same :class:`FaultPlan` inside
-  the shard supervisor and the divergence guard.
+  the shard supervisor and the divergence guard;
+* the continuous service front-end — lane crashes, lane stalls, job
+  crashes — exercised through the ``service.*`` family, fired by the
+  same :class:`FaultPlan` inside the tenant lanes and their
+  supervisor.
 """
 
 from repro.faults.plan import ENV_VAR, FAULT_KINDS, FaultPlan, FaultSpec
@@ -20,6 +24,7 @@ from repro.faults.sites import (
     DEVICE_SITES,
     ENGINE_SITES,
     KNOWN_SITES,
+    SERVICE_SITES,
     matches_known_site,
 )
 
@@ -32,5 +37,6 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "KNOWN_SITES",
+    "SERVICE_SITES",
     "matches_known_site",
 ]

@@ -66,6 +66,31 @@ parameterises the stall and the other kinds are advisory:
     Recovery: the run demotes primary → reference with a structured
     report.
 
+**Service sites** — failures inside the continuous multi-tenant
+front-end's tenant lanes, injected through the same
+:class:`~repro.faults.plan.FaultPlan` as engine and backend sites.
+Like the ``backend.*`` family, a service site *names* its effect;
+tokens are the tenant name (lane-level sites) or
+``<tenant>:<job id>`` (job-level sites):
+
+``service.lane.crash``
+    The tenant's lane thread dies after dequeuing a job (the job is
+    requeued first, so no work is lost silently).  Recovery: the lane
+    supervisor records a strike and restarts the lane; ``K``
+    consecutive strikes quarantine the tenant.
+
+``service.lane.stall``
+    The lane sleeps ``seconds`` mid-job, driving the job past its
+    deadline.  Recovery: the supervisor abandons the wedged lane
+    thread (its late result is discarded by generation check), marks
+    the job timed out, and starts a replacement lane.
+
+``service.job.crash``
+    One job's execution raises before the pipeline runs.  Recovery:
+    the lane's retry-with-backoff (reusing the experiment engine's
+    :class:`~repro.system.runner.RetryPolicy`) re-runs the job;
+    injected faults never fire on retries, so the job converges.
+
 Site patterns in a :class:`FaultSpec` are ``fnmatch`` globs, so
 ``store.load.*`` or ``device.hbm.*`` cover a family.  Each injector
 validates patterns against *its* family, so a spec that could never
@@ -91,6 +116,10 @@ __all__ = [
     "DEVICE_SITES",
     "ENGINE_SITES",
     "KNOWN_SITES",
+    "SERVICE_JOB_CRASH",
+    "SERVICE_LANE_CRASH",
+    "SERVICE_LANE_STALL",
+    "SERVICE_SITES",
     "STORE_LOAD_PROFILE",
     "STORE_LOAD_RESULT",
     "STORE_LOAD_SELECTION",
@@ -121,6 +150,10 @@ BACKEND_SHARD_CRASH = "backend.shard.crash"
 BACKEND_SHARD_STALL = "backend.shard.stall"
 BACKEND_SHARD_STATS = "backend.shard.stats"
 BACKEND_DIVERGENCE = "backend.divergence"
+
+SERVICE_LANE_CRASH = "service.lane.crash"
+SERVICE_LANE_STALL = "service.lane.stall"
+SERVICE_JOB_CRASH = "service.job.crash"
 
 #: Sites the experiment engine's FaultPlan can act on.
 ENGINE_SITES = (
@@ -153,13 +186,23 @@ BACKEND_SITES = (
     BACKEND_DIVERGENCE,
 )
 
-KNOWN_SITES = ENGINE_SITES + DEVICE_SITES + BACKEND_SITES
+#: Tenant-lane sites inside the continuous service front-end, checked
+#: by the lane loop and the lane supervisor.  They fire through the
+#: engine :class:`~repro.faults.plan.FaultPlan`.
+SERVICE_SITES = (
+    SERVICE_LANE_CRASH,
+    SERVICE_LANE_STALL,
+    SERVICE_JOB_CRASH,
+)
+
+KNOWN_SITES = ENGINE_SITES + DEVICE_SITES + BACKEND_SITES + SERVICE_SITES
 
 _FAMILIES = {
     None: KNOWN_SITES,
     "engine": ENGINE_SITES,
     "device": DEVICE_SITES,
     "backend": BACKEND_SITES,
+    "service": SERVICE_SITES,
 }
 
 

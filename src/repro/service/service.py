@@ -28,6 +28,7 @@ from functools import reduce
 from repro.core.cmt import MappingNamespace
 from repro.errors import ConfigError
 from repro.hbm.stats import BackendHealth, RunStats
+from repro.service.health import ServiceHealth
 from repro.service.registry import TenantRegistry, TenantSpec
 from repro.service.tenant import SharedArtifacts, TenantContext
 from repro.workloads.base import Workload
@@ -107,6 +108,7 @@ class ServiceReport:
     tenants: dict[str, TenantResult]
     plan_cache: dict
     budget: dict
+    health: ServiceHealth | None = None
 
     @property
     def aggregate_stats(self) -> RunStats | None:
@@ -150,6 +152,9 @@ class ServiceReport:
             "aggregate_health": None if health is None else health.to_dict(),
             "plan_cache": self.plan_cache,
             "budget": self.budget,
+            "service_health": None
+            if self.health is None
+            else self.health.to_dict(),
         }
 
 
@@ -169,7 +174,10 @@ class MappingService:
     ):
         if shared is None:
             shared = SharedArtifacts.create(backend="vector")
-        self.registry = TenantRegistry(shared, max_mappings=max_mappings)
+        self.health = ServiceHealth()
+        self.registry = TenantRegistry(
+            shared, max_mappings=max_mappings, health=self.health
+        )
         self.shared = self.registry.shared
         if max_workers is not None and max_workers < 1:
             raise ConfigError("max_workers must be >= 1")
@@ -181,10 +189,23 @@ class MappingService:
         """Admit a tenant (see :meth:`TenantRegistry.admit`)."""
         return self.registry.admit(spec)
 
-    def evict(self, name: str) -> None:
-        """Evict a tenant; its queued jobs are dropped."""
+    def evict(self, name: str) -> int:
+        """Evict a tenant, dropping its queued jobs — *accounted*, not
+        silent: each dropped job is journaled in :attr:`health` and the
+        count is returned."""
         self.registry.evict(name)
-        self._queue = [job for job in self._queue if job.tenant != name]
+        kept, dropped = [], []
+        for job in self._queue:
+            (dropped if job.tenant == name else kept).append(job)
+        self._queue = kept
+        for job in dropped:
+            self.health.record(
+                "job-dropped",
+                name,
+                "tenant evicted with jobs queued",
+                workload=job.workload.name,
+            )
+        return len(dropped)
 
     # -- the batching front-end ----------------------------------------------
     def submit(
@@ -197,6 +218,7 @@ class MappingService:
         """Queue one workload run for an admitted tenant."""
         if tenant not in self.registry:
             raise ConfigError(f"tenant {tenant!r} is not admitted")
+        self.health.note_submitted()
         self._queue.append(
             _Job(
                 tenant=tenant,
@@ -232,6 +254,7 @@ class MappingService:
                     eval_seed=job.eval_seed,
                 )
             )
+            self.health.note_completed()
         return result
 
     def drain(self) -> ServiceReport:
@@ -270,4 +293,5 @@ class MappingService:
             tenants=results,
             plan_cache=self.shared.plan_cache.stats(),
             budget=self.registry.report(),
+            health=self.health,
         )

@@ -1,0 +1,223 @@
+"""Lane supervision: detect, strike, restart, quarantine, restore.
+
+:class:`LaneSupervisor` is the service front-end's watchdog thread.  A
+periodic sweep inspects every tenant lane and reacts to the two ways a
+lane degrades:
+
+* **Dead lane thread** (a crash — e.g. an injected
+  ``service.lane.crash`` fault): the crashed thread requeued its job
+  before dying, so nothing is lost; the sweep journals a
+  ``lane-crash``, adds a strike, and restarts the lane from the last
+  good :class:`~repro.service.tenant.TenantContext`
+  (:meth:`~repro.service.registry.TenantRegistry.rebuild`: same spec,
+  same namespace, fresh mutable state).
+* **Wedged in-flight job** (past its deadline — e.g. an injected
+  ``service.lane.stall``): Python cannot kill a thread, so the sweep
+  *abandons* it — settles the job as ``timeout``, bumps the lane
+  generation (the stale thread discards its result and exits on its
+  own time), strikes, and starts a replacement thread.
+
+``max_strikes`` accumulated failures quarantine the tenant: queued
+jobs are dropped (each journaled — the conservation law holds),
+submissions raise :class:`~repro.errors.TenantQuarantinedError` until
+probation ends, and the sweep then *restores* the tenant — context
+rebuilt, strikes cleared, lane thread relaunched — journaling
+``tenant-restored``.  The selftest proves a quarantined-and-restored
+tenant's fingerprint is bit-identical to its solo run.
+
+Every action is a :meth:`~repro.service.health.ServiceHealth.record`
+call; the journal, not the log, is the source of truth.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["LaneSupervisor"]
+
+
+class LaneSupervisor:
+    """Watchdog over a :class:`~repro.service.frontend.ServiceFrontend`.
+
+    ``sweep()`` is a single synchronous pass (tests drive it directly
+    for determinism); ``ensure_running()`` starts the periodic monitor
+    thread that calls it every ``interval_s``.
+    """
+
+    def __init__(
+        self,
+        frontend,
+        interval_s: float = 0.005,
+        max_strikes: int = 3,
+        quarantine_s: float = 0.05,
+    ):
+        self.frontend = frontend
+        self.interval_s = interval_s
+        self.max_strikes = max_strikes
+        self.quarantine_s = quarantine_s
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------------
+    def ensure_running(self) -> None:
+        """Start the monitor thread if it is not already alive."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._monitor, name="repro-lane-supervisor", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the monitor thread (idempotent)."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        self._stop.set()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=1.0)
+
+    def _monitor(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sweep()
+            except Exception:  # noqa: BLE001 — the watchdog must not die
+                continue
+
+    # -- the sweep ------------------------------------------------------------
+    def sweep(self) -> None:
+        """One supervision pass over every lane."""
+        frontend = self.frontend
+        with frontend._lanes_lock:
+            lanes = list(frontend._lanes.values())
+        now = frontend._clock()
+        for lane in lanes:
+            self._sweep_lane(lane, now)
+
+    def _sweep_lane(self, lane, now: float) -> None:
+        frontend = self.frontend
+        health = frontend.health
+        with lane.lock:
+            if lane.closing:
+                return
+            if lane.quarantined_until is not None:
+                if now < lane.quarantined_until:
+                    return
+                # Probation over: restore below, outside the lane lock
+                # (rebuild takes the registry lock).
+                lane.quarantined_until = None
+                lane.strikes = 0
+                restore = True
+                abandoned = None
+            else:
+                restore = False
+                abandoned = None
+                thread = lane.thread
+                if thread is not None and not thread.is_alive():
+                    # The worker died without closing: a lane crash.
+                    lane.thread = None
+                    lane.strikes += 1
+                    strikes = lane.strikes
+                    health.record(
+                        "lane-crash",
+                        lane.name,
+                        f"lane thread died (strike {strikes} "
+                        f"of {self.max_strikes})",
+                        strikes=strikes,
+                    )
+                elif (
+                    lane.current is not None
+                    and now > lane.current.deadline
+                ):
+                    # Wedged job: abandon the thread, settle the job.
+                    job = lane.current
+                    if job.handle.settle(
+                        "timeout", error="deadline exceeded in flight"
+                    ):
+                        abandoned = job
+                    lane.generation += 1  # stale thread discards and exits
+                    lane.current = None
+                    lane.busy_since = None
+                    lane.thread = None
+                    lane.strikes += 1
+                    strikes = lane.strikes
+                    lane.ready.notify_all()
+                else:
+                    return  # healthy
+            if not restore:
+                if abandoned is not None:
+                    health.record(
+                        "job-timeout",
+                        lane.name,
+                        "deadline exceeded in flight",
+                        workload=abandoned.handle.workload,
+                    )
+                    health.record(
+                        "lane-abandoned",
+                        lane.name,
+                        f"wedged worker abandoned (strike {strikes} "
+                        f"of {self.max_strikes})",
+                        strikes=strikes,
+                    )
+                if strikes >= self.max_strikes:
+                    self._quarantine_locked(lane, now)
+                    return
+        # Outside the lane lock: context rebuild + thread start.
+        self._restart(lane, restored=restore)
+
+    def _quarantine_locked(self, lane, now: float) -> None:
+        """Quarantine a striking-out tenant; caller holds ``lane.lock``."""
+        health = self.frontend.health
+        victims = list(lane.queue)
+        lane.queue.clear()
+        if lane.current is not None:
+            victims.insert(0, lane.current)
+            lane.current = None
+            lane.busy_since = None
+        lane.generation += 1
+        lane.thread = None
+        lane.quarantined_until = now + self.quarantine_s
+        lane.ready.notify_all()
+        for job in victims:
+            if job.handle.settle("dropped", error="tenant quarantined"):
+                health.record(
+                    "job-dropped",
+                    lane.name,
+                    "tenant quarantined",
+                    workload=job.handle.workload,
+                )
+        health.record(
+            "tenant-quarantined",
+            lane.name,
+            f"{lane.strikes} strike(s); probation {self.quarantine_s}s",
+            strikes=lane.strikes,
+            dropped=len(victims),
+        )
+
+    def _restart(self, lane, restored: bool) -> None:
+        """Rebuild the tenant context and relaunch the lane thread."""
+        frontend = self.frontend
+        with frontend._registry_lock:
+            if lane.name not in frontend.registry:
+                return  # evicted while we decided; nothing to restart
+            frontend.registry.rebuild(lane.name)
+            with lane.lock:
+                if lane.closing:
+                    return
+                if restored:
+                    frontend.health.record(
+                        "tenant-restored",
+                        lane.name,
+                        "probation complete; lane restarted from the "
+                        "last good context",
+                    )
+                frontend.health.record(
+                    "lane-restarted",
+                    lane.name,
+                    "fresh worker over the rebuilt tenant context",
+                    generation=lane.generation + 1,
+                )
+                frontend._start_lane_thread(lane)

@@ -89,6 +89,51 @@ class TestPlanCache:
     def test_default_cache_is_process_wide(self):
         assert default_plan_cache() is default_plan_cache()
 
+    def test_multithread_hammer_accounting_is_exact(self):
+        """Many threads, many keys, interleaved lookups: the stats
+        ledger must balance (hits + misses == lookups) and no key's
+        builder may ever run twice — the service front-end leans on
+        both guarantees when tenant lanes share one cache."""
+        keys = [f"plan{i}" for i in range(16)]
+        cache = PlanCache(maxsize=len(keys))  # no evictions in play
+        builds = {key: 0 for key in keys}
+        builds_lock = threading.Lock()
+        n_threads, rounds = 8, 40
+        barrier = threading.Barrier(n_threads)
+
+        def builder(key):
+            def build():
+                with builds_lock:
+                    builds[key] += 1
+                return (key, object())
+
+            return build
+
+        def worker(offset):
+            barrier.wait()
+            for round_no in range(rounds):
+                # Each thread walks the keys from a different offset so
+                # first-touches are spread across all threads.
+                key = keys[(round_no + offset) % len(keys)]
+                value = cache.get(key, builder(key))
+                assert value[0] == key
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        lookups = n_threads * rounds
+        assert cache.hits + cache.misses == lookups
+        assert all(count == 1 for count in builds.values())
+        assert cache.misses == len(keys)
+        assert cache.hits == lookups - len(keys)
+        assert cache.evictions == 0
+        assert len(cache) == len(keys)
+
 
 class TestPlanForIntegration:
     def test_plan_for_shares_through_explicit_cache(self):

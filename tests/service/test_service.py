@@ -76,6 +76,43 @@ class TestFrontEnd:
         assert service.pending == 0
         assert "a" not in service.registry
 
+    def test_evict_reports_and_journals_dropped_jobs(self):
+        """Regression: eviction must *account* queued jobs, not drop
+        them silently — the count comes back and every job lands in
+        the health journal as a structured rejection."""
+        service = fast_service()
+        service.admit(TenantSpec("a"))
+        service.admit(TenantSpec("b"))
+        service.submit("a", workload_a())
+        service.submit("a", workload_b())
+        service.submit("b", workload_b())
+        dropped = service.evict("a")
+        assert dropped == 2
+        drops = [
+            e for e in service.health.events if e["event"] == "job-dropped"
+        ]
+        assert len(drops) == 2
+        assert {e["tenant"] for e in drops} == {"a"}
+        assert {e["workload"] for e in drops} == {
+            workload_a().name,
+            workload_b().name,
+        }
+        # Tenant b's job is untouched; conservation holds post-drain.
+        report = service.drain()
+        assert len(report.tenants["b"].results) == 1
+        assert service.health.violations() == []
+        assert service.evict("b") == 0
+
+    def test_report_carries_service_health(self):
+        service = fast_service()
+        service.admit(TenantSpec("a"))
+        service.submit("a", workload_a())
+        report = service.drain()
+        assert report.health is service.health
+        assert report.health.submitted == 1
+        assert report.health.completed == 1
+        assert report.to_dict()["service_health"]["conserved"] is True
+
     def test_aggregate_stats_merge_per_tenant_stats(self):
         service = fast_service()
         service.admit(TenantSpec("a", seed=1))
@@ -139,12 +176,28 @@ class TestServiceCampaign:
         assert result.fault_health[victim] == result.concurrent_health[victim]
         aggressor = result.fault_health[result.faulty_tenant]
         assert aggressor["shard_retries"] >= 1
+        # The continuous-front-end legs ran and held their laws.
+        recovery = result.recovery_health
+        assert recovery["quarantines"] >= 1
+        assert recovery["restores"] >= 1
+        assert recovery["lane_crashes"] >= 1
+        assert recovery["violations"] == []
+        assert result.recovery_fingerprints == result.solo_fingerprints
+        assert result.overload["shed"] >= 1
+        assert (
+            result.overload["shed"] + result.overload["accepted"]
+            == result.overload["burst"]
+        )
+        assert result.scale["admitted"] >= 200
+        assert result.scale["probe_isolated"] is True
+        assert result.scale["health"]["violations"] == []
         json.dumps(result.to_dict())
         assert "ISOLATED" in result.summary()
 
     def test_controller_leg_isolated(self):
         result = run_service_campaign(
-            seed=0, tenants=2, quick=True, controllers=True
+            seed=0, tenants=2, quick=True, controllers=True,
+            frontend_legs=False,
         )
         assert result.isolated
         controllers = result.controller_fingerprints

@@ -243,3 +243,66 @@ class TestServeCommand:
     def test_serve_rejects_quick_and_full(self):
         with pytest.raises(SystemExit):
             main(["serve", "--quick", "--full"])
+
+    def test_serve_selftest_interrupt_exits_3(self, capsys, monkeypatch):
+        import repro.service
+
+        def interrupted(**kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            repro.service, "run_service_campaign", interrupted
+        )
+        assert main(["serve", "--quick", "--tenants", "2"]) == 3
+        assert "selftest interrupted" in capsys.readouterr().err
+
+
+class TestServeSoakMode:
+    def test_soak_with_injected_fault_exits_0(self, capsys, tmp_path):
+        out = tmp_path / "soak_health.json"
+        assert main([
+            "serve", "--load", "2", "--duration", "0.3",
+            "--queue-depth", "4", "--fault", "service.lane.crash",
+            "--out", str(out),
+        ]) == 0
+        assert "health journal written" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert data["conserved"] is True
+        assert data["violations"] == []
+        assert data["lane_crashes"] >= 1
+        assert data["lane_restarts"] >= 1
+        assert data["completed"] >= 1
+
+    def test_soak_interrupt_exits_3(self, capsys, monkeypatch, tmp_path):
+        from repro.service.frontend import ServiceFrontend
+
+        def interrupted(self, spec):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ServiceFrontend, "admit", interrupted)
+        out = tmp_path / "soak_health.json"
+        code = main([
+            "serve", "--load", "1", "--duration", "0.1", "--out", str(out),
+        ])
+        assert code == 3
+        assert "soak interrupted" in capsys.readouterr().err
+        # The journal is still written on interrupt.
+        assert json.loads(out.read_text())["submitted"] == 0
+
+    def test_soak_health_violation_exits_1(self, capsys, monkeypatch):
+        from repro.service.health import ServiceHealth
+
+        monkeypatch.setattr(
+            ServiceHealth,
+            "violations",
+            lambda self: ["injected accounting hole"],
+        )
+        assert main([
+            "serve", "--load", "1", "--duration", "0.1", "--json",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "service health violated" in captured.err
+        assert (
+            json.loads(captured.out)["violations"]
+            == ["injected accounting hole"]
+        )
