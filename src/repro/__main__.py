@@ -196,6 +196,42 @@ def cmd_bench(args) -> int:
     stage); write the JSON report."""
     import json
 
+    if args.tier:
+        from repro.system.bench import (
+            TIER_REPORT_PATH,
+            run_tier_benchmark,
+            write_report,
+        )
+
+        accesses = args.accesses or 65_536
+        report = run_tier_benchmark(
+            accesses=accesses,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+        path = write_report(report, args.out or TIER_REPORT_PATH)
+        summary = report["summary_speedup_geomean"]
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"tier bench: {accesses} accesses -> {path}")
+            for scenario, cell in report["cells"].items():
+                print(
+                    f"  {scenario:8s} smart-tiered "
+                    f"{cell['smart_ns'] / 1e6:8.2f} ms model time "
+                    f"({cell['speedup']:.2f}x vs all-slow)"
+                )
+            print(f"  geomean speedup: smart {summary['smart']:.2f}x")
+        gate = summary["smart"]
+        if gate < args.min_speedup:
+            print(
+                f"error: geomean speedup {gate:.2f}x below the "
+                f"--min-speedup {args.min_speedup:.2f}x gate",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
     if args.evaluate:
         from repro.system.bench import (
             EVALUATE_REPORT_PATH,
@@ -360,6 +396,38 @@ def cmd_adapt(args) -> int:
     return 1 if problems else 0
 
 
+def cmd_tier(args) -> int:
+    """Run the tiered-memory campaign; optionally write JSON."""
+    import json
+
+    from repro.tier.campaign import run_tier_campaign
+
+    try:
+        result = run_tier_campaign(
+            seed=args.seed,
+            quick=not args.full,
+            policy=args.policy,
+        )
+    except KeyboardInterrupt:
+        print("tier campaign interrupted", file=sys.stderr)
+        return 3
+    payload = result.to_dict()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        if args.out:
+            print(f"report written to {args.out}")
+    if not result.ok:
+        for problem in result.problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_verify_cache(args) -> int:
     """Verify (and optionally sweep) the on-disk stage cache."""
     import json
@@ -498,7 +566,7 @@ def _cmd_serve_soak(args) -> int:
                         system="bs_dm",
                         quota=2,
                         seed=args.seed + index,
-                        backend="fast",
+                        backend=args.backend or "fast",
                     )
                 )
             workload = StridedCopyWorkload(
@@ -559,6 +627,7 @@ def cmd_serve(args) -> int:
             tenants=args.tenants,
             quick=not args.full,
             controllers=not args.no_controllers,
+            backend=args.backend or "vector",
         )
     except KeyboardInterrupt:
         print("selftest interrupted", file=sys.stderr)
@@ -682,6 +751,12 @@ def main(argv: list[str] | None = None) -> int:
         "--backend tier vs the event-loop reference "
         "(report goes to BENCH_evaluate.json)",
     )
+    bench_mode.add_argument(
+        "--tier",
+        action="store_true",
+        help="benchmark the tiered-memory backend: SmartSwap placement "
+        "vs the all-slow baseline (report goes to BENCH_tier.json)",
+    )
     bench.add_argument(
         "--backend",
         default=None,
@@ -797,6 +872,31 @@ def main(argv: list[str] | None = None) -> int:
         "(fast | vector | event; default fast)",
     )
     _add_campaign_flags(adapt, "trace windows")
+    tier = sub.add_parser(
+        "tier",
+        help="tiered-memory campaign: swap policies vs the all-slow "
+        "baseline under capacity pressure and hot/cold skew",
+    )
+    tier_scope = tier.add_mutually_exclusive_group()
+    tier_scope.add_argument(
+        "--quick", action="store_true", help="small arena, short trace (default)"
+    )
+    tier_scope.add_argument(
+        "--full", action="store_true", help="larger arena, longer trace"
+    )
+    tier.add_argument("--seed", type=int, default=0)
+    tier.add_argument(
+        "--policy",
+        default=None,
+        help="evaluate one swap policy only (fast | slow | smart; "
+        "default: all three; the all-slow baseline always runs)",
+    )
+    tier.add_argument(
+        "--out", default=None, help="write the campaign result as JSON here"
+    )
+    tier.add_argument(
+        "--json", action="store_true", help="print the result as JSON"
+    )
     serve = sub.add_parser(
         "serve",
         help="multi-tenant service isolation selftest "
@@ -823,6 +923,13 @@ def main(argv: list[str] | None = None) -> int:
         "--no-controllers",
         action="store_true",
         help="skip the per-tenant adaptive/RAS controller leg",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        help="memory fidelity tier every tenant runs on "
+        "(fast | vector | event | tiered; default vector for the "
+        "selftest, fast for --load soak)",
     )
     serve.add_argument(
         "--load",
@@ -871,6 +978,7 @@ def main(argv: list[str] | None = None) -> int:
         "ras": cmd_ras,
         "adapt": cmd_adapt,
         "serve": cmd_serve,
+        "tier": cmd_tier,
     }
     return handlers[args.command](args)
 

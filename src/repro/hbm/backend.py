@@ -62,10 +62,23 @@ BackendFactory = Callable[..., MemoryBackend]
 _REGISTRY: dict[str, BackendFactory] = {}
 
 
-def register_backend(name: str, factory: BackendFactory) -> None:
-    """Register a backend under ``name`` (overwrites an existing entry)."""
+def register_backend(
+    name: str, factory: BackendFactory, replace: bool = False
+) -> None:
+    """Register a backend under ``name``.
+
+    Duplicate names raise :class:`~repro.errors.ConfigError` unless
+    ``replace=True`` — silently shadowing a registered backend turned a
+    typo'd plugin registration into wrong results, so overwriting is
+    now an explicit request.
+    """
     if not name:
         raise ConfigError("backend name must be non-empty")
+    if not replace and name in _REGISTRY:
+        raise ConfigError(
+            f"backend {name!r} is already registered; "
+            "pass replace=True to overwrite it"
+        )
     _REGISTRY[name] = factory
 
 
@@ -86,16 +99,27 @@ def create_backend(name: str, config: HBMConfig, **kwargs) -> MemoryBackend:
     return factory(config, **kwargs)
 
 
+def _tiered_factory(config: HBMConfig, **kwargs) -> MemoryBackend:
+    # Imported lazily: the tier package imports this module for its
+    # fast-tier delegate, so a top-level import would be circular.
+    from repro.tier.backend import TieredBackend
+
+    return TieredBackend(config, **kwargs)
+
+
 def _register_builtins() -> None:
     # Imported lazily to keep backend.py free of circular imports: the
     # model modules import decode, which imports config only.
+    # ``replace=True`` keeps re-registration idempotent (this runs on
+    # every import of the module, e.g. after importlib.reload).
     from repro.hbm.device import HBMDevice
     from repro.hbm.fastmodel import WindowModel
     from repro.hbm.vectormodel import VectorModel
 
-    register_backend("fast", WindowModel)
-    register_backend("event", HBMDevice)
-    register_backend("vector", VectorModel)
+    register_backend("fast", WindowModel, replace=True)
+    register_backend("event", HBMDevice, replace=True)
+    register_backend("vector", VectorModel, replace=True)
+    register_backend("tiered", _tiered_factory, replace=True)
 
 
 _register_builtins()

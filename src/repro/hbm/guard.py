@@ -133,6 +133,15 @@ class GuardedBackend:
         self.demoted = False
         self.last_health: BackendHealth | None = None
 
+    @property
+    def last_traffic(self):
+        """The guarded tier's per-run traffic, if it keeps one.
+
+        Forwarded so a guarded tiered backend still surfaces its
+        :class:`~repro.tier.stats.TierTraffic` on results.
+        """
+        return getattr(self.primary, "last_traffic", None)
+
     # -- protocol entry points ----------------------------------------------
     def simulate(self, ha) -> RunStats:
         """Run a hardware-address trace (decode, then simulate)."""

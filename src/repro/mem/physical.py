@@ -182,6 +182,10 @@ class PhysicalMemory:
         # is handed out — lets a degraded machine retire unusable pages
         # in chunks that were still on the free list at repair time.
         self.new_chunk_hook: Callable[[Chunk], None] | None = None
+        # Tiering: invoked with the device-global page number of every
+        # newly retired page, so a tiered backend can pin it to the slow
+        # tier instead of shrinking fast capacity.
+        self.on_page_retired: Callable[[int], None] | None = None
         self.chunks_acquired = 0
         self.chunks_released = 0
         self.pages_retired = 0
@@ -261,6 +265,14 @@ class PhysicalMemory:
             self.release_chunk(chunk)
 
     # -- RAS: retirement -------------------------------------------------------
+    def _notify_retired(self, chunk_no: int, page_offsets) -> None:
+        """Fan newly retired pages out to the tiering hook (global ids)."""
+        if self.on_page_retired is None:
+            return
+        base = chunk_no * self.geometry.pages_per_chunk
+        for offset in page_offsets:
+            self.on_page_retired(base + int(offset))
+
     def discard_frame(self, pa: int, retire: bool = True) -> None:
         """Drop a frame and (by default) retire its page in place.
 
@@ -279,6 +291,7 @@ class PhysicalMemory:
             offset = (pa - chunk.base_pa) >> self.geometry.page_bits
             chunk.retire_page(offset)
             self.pages_retired += 1
+            self._notify_retired(chunk_no, (offset,))
         elif chunk.is_empty:
             self.release_chunk(chunk)
 
@@ -292,12 +305,15 @@ class PhysicalMemory:
         if chunk is None:
             raise AllocationError(f"chunk {chunk_no} is not live")
         newly = 0
+        fresh: list[int] = []
         for offset in page_offsets:
             if int(offset) in chunk.retired_pages:
                 continue
             chunk.retire_page(int(offset))
+            fresh.append(int(offset))
             newly += 1
         self.pages_retired += newly
+        self._notify_retired(chunk_no, fresh)
         return newly
 
     def retire_chunk(self, chunk_no: int) -> None:
@@ -333,8 +349,19 @@ class PhysicalMemory:
             self.pages_retired += self.geometry.pages_per_chunk - len(
                 chunk.retired_pages
             )
+            self._notify_retired(
+                chunk_no,
+                (
+                    offset
+                    for offset in range(self.geometry.pages_per_chunk)
+                    if offset not in chunk.retired_pages
+                ),
+            )
         else:
             self.pages_retired += self.geometry.pages_per_chunk
+            self._notify_retired(
+                chunk_no, range(self.geometry.pages_per_chunk)
+            )
         self._retired_chunks.add(chunk_no)
 
     @property

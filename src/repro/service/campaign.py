@@ -135,13 +135,17 @@ class ServiceCampaignResult:
 
 
 def _tenant_specs(
-    seed: int, count: int, faulty: str | None = None
+    seed: int,
+    count: int,
+    faulty: str | None = None,
+    backend: str = "vector",
 ) -> list[TenantSpec]:
     """Deterministic tenant population: mixed systems, distinct seeds.
 
     ``faulty`` names the tenant whose vector backend gets a live shard
     pool plus an injected ``backend.shard.crash`` — the fault-isolation
-    leg's aggressor.
+    leg's aggressor.  It stays on the vector tier regardless of
+    ``backend``: the shard-crash fault site only exists there.
     """
     systems = ["sdm_bsm_ml4", "sdm_bsm", "bs_dm", "sdm_bsm_ml4"]
     specs = []
@@ -149,7 +153,9 @@ def _tenant_specs(
         name = f"tenant{index}"
         options: dict = {}
         faults = None
+        tenant_backend = backend
         if name == faulty:
+            tenant_backend = "vector"
             options = {"workers": _FAULTY_WORKERS}
             faults = FaultPlan.single(BACKEND_SHARD_CRASH, times=1)
         specs.append(
@@ -158,7 +164,7 @@ def _tenant_specs(
                 system=systems[index % len(systems)],
                 quota=5,
                 seed=seed + index,
-                backend="vector",
+                backend=tenant_backend,
                 backend_options=options,
                 backend_faults=faults,
             )
@@ -191,6 +197,7 @@ def _run_leg(
     specs: list[TenantSpec],
     submit_for: list[str],
     quick: bool,
+    backend: str = "vector",
 ) -> ServiceReport:
     """One service run: admit every spec, submit jobs for a subset.
 
@@ -199,7 +206,7 @@ def _run_leg(
     submitted traffic differs.
     """
     service = MappingService(
-        shared=SharedArtifacts.create(backend="vector")
+        shared=SharedArtifacts.create(backend=backend)
     )
     for spec in specs:
         service.admit(spec)
@@ -573,11 +580,12 @@ def run_service_campaign(
     controllers: bool = True,
     frontend_legs: bool = True,
     scale_tenants: int = 208,
+    backend: str = "vector",
 ) -> ServiceCampaignResult:
     """Run the full isolation selftest; see the module docstring."""
     started = time.perf_counter()
     count = max(2, tenants)
-    clean_specs = _tenant_specs(seed, count)
+    clean_specs = _tenant_specs(seed, count, backend=backend)
     names = [spec.name for spec in clean_specs]
     faulty = names[0]
     result = ServiceCampaignResult(
@@ -589,11 +597,11 @@ def run_service_campaign(
 
     # Leg 1: solo runs — same admissions, one tenant's traffic each.
     for name in names:
-        report = _run_leg(seed, clean_specs, [name], quick)
+        report = _run_leg(seed, clean_specs, [name], quick, backend=backend)
         result.solo_fingerprints[name] = report.fingerprints()[name]
 
     # Leg 2: all tenants concurrently.
-    report = _run_leg(seed, clean_specs, names, quick)
+    report = _run_leg(seed, clean_specs, names, quick, backend=backend)
     result.concurrent_fingerprints = report.fingerprints()
     result.concurrent_health = {
         name: None
@@ -612,8 +620,8 @@ def run_service_campaign(
     # Leg 3: concurrent again, with one tenant's backend faulted.  The
     # victim tenants must see neither their fingerprints nor their
     # health journals move.
-    fault_specs = _tenant_specs(seed, count, faulty=faulty)
-    report = _run_leg(seed, fault_specs, names, quick)
+    fault_specs = _tenant_specs(seed, count, faulty=faulty, backend=backend)
+    report = _run_leg(seed, fault_specs, names, quick, backend=backend)
     result.fault_fingerprints = report.fingerprints()
     result.fault_health = {
         name: None

@@ -238,6 +238,24 @@ class TenantContext:
             if key not in self._EXECUTION_OPTIONS
         }
         max_inflight = self.engine.max_inflight
+        if self.backend == "tiered":
+            # Guard a tiered primary against a tiered reference that
+            # shares the tier semantics (placement, policy, slow tier)
+            # but times the fast tier with the event model — the two
+            # sides then differ only in the timing engine, which is the
+            # comparison the guard is built for.
+            reference_name = "tiered:event"
+            reference_factory = TierFactory(
+                "tiered",
+                self.hbm,
+                max_inflight=max_inflight,
+                **{**replay_options, "delegate": "event"},
+            )
+        else:
+            reference_name = "event"
+            reference_factory = TierFactory(
+                "event", self.hbm, max_inflight=max_inflight
+            )
         return GuardedBackend(
             backend,
             primary_factory=TierFactory(
@@ -246,11 +264,9 @@ class TenantContext:
                 max_inflight=max_inflight,
                 **replay_options,
             ),
-            reference_factory=TierFactory(
-                "event", self.hbm, max_inflight=max_inflight
-            ),
+            reference_factory=reference_factory,
             primary_name=self.backend,
-            reference_name="event",
+            reference_name=reference_name,
             sample=(
                 self.guard_sample
                 if self.guard_sample is not None
@@ -458,6 +474,7 @@ class TenantContext:
             compute_ns=compute_ns,
             profiling_seconds=profiling_seconds,
             backend_health=getattr(backend, "last_health", None),
+            tier_traffic=getattr(backend, "last_traffic", None),
         )
 
     # -- RAS -------------------------------------------------------------------

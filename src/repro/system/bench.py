@@ -37,13 +37,16 @@ from repro.profiling.bfrv import bit_flip_rate_vector
 __all__ = [
     "run_benchmark",
     "run_evaluate_benchmark",
+    "run_tier_benchmark",
     "write_report",
     "DEFAULT_REPORT_PATH",
     "EVALUATE_REPORT_PATH",
+    "TIER_REPORT_PATH",
 ]
 
 DEFAULT_REPORT_PATH = "BENCH_translation.json"
 EVALUATE_REPORT_PATH = "BENCH_evaluate.json"
+TIER_REPORT_PATH = "BENCH_tier.json"
 SCENARIOS = ("bs_dm", "bs_bsm", "bs_hm", "sdm_bsm")
 STAGES = ("translate", "decode", "translate_decode", "evaluate")
 
@@ -394,6 +397,87 @@ def run_evaluate_benchmark(
         "unix_time": time.time(),
         "cells": cells,
         "summary_speedup_geomean": {"evaluate": geomean},
+    }
+
+
+def run_tier_benchmark(
+    accesses: int = 65_536,
+    seed: int = 0,
+    repeats: int = 2,
+    config: HBMConfig | None = None,
+    footprint_bytes: int = 4 * 1024 * 1024,
+) -> dict:
+    """SmartSwap tiered placement vs the all-slow baseline.
+
+    For each workload shape (hot/cold skew and uniform capacity
+    pressure) the same trace runs through two tiered backends: SmartSwap
+    with a fast tier a quarter of the footprint, and the all-slow
+    baseline (``fast_pages=0``).  Cells record both the *modeled*
+    makespans — the headline ``speedup`` and the acceptance gate
+    ``summary_speedup_geomean.smart`` — and the host simulation time,
+    plus each side's swap/translation traffic so the placement win is
+    never detached from the overhead it was bought at.
+    """
+    from repro.tier.backend import TieredBackend
+    from repro.workloads.synthetic import TieredPressureWorkload
+
+    config = config or hbm2_config()
+    fast_pages = (footprint_bytes >> 12) // 4
+    cells: dict[str, dict] = {}
+    for scenario, hot_fraction in (("skew", 0.9), ("pressure", 0.0)):
+        workload = TieredPressureWorkload(
+            footprint_bytes=footprint_bytes,
+            hot_fraction=hot_fraction,
+            accesses=accesses,
+        )
+        ha = workload.trace({"arena": 0}, input_seed=seed)[0].va
+        smart = TieredBackend(config, policy="smart", fast_pages=fast_pages)
+        all_slow = TieredBackend(config, policy="slow", fast_pages=0)
+
+        def run_smart():
+            return smart.simulate(ha)
+
+        def run_all_slow():
+            return all_slow.simulate(ha)
+
+        smart_stats = run_smart()
+        smart_traffic = smart.last_traffic.to_dict()
+        slow_stats = run_all_slow()
+        slow_traffic = all_slow.last_traffic.to_dict()
+        smart_host_ns = _time_ns(run_smart, repeats)
+        slow_host_ns = _time_ns(run_all_slow, repeats)
+        cells[scenario] = {
+            "smart_ns": smart_stats.makespan_ns,
+            "all_slow_ns": slow_stats.makespan_ns,
+            "speedup": (
+                slow_stats.makespan_ns / smart_stats.makespan_ns
+                if smart_stats.makespan_ns
+                else float("inf")
+            ),
+            "host_smart_ns": smart_host_ns,
+            "host_all_slow_ns": slow_host_ns,
+            "smart_traffic": smart_traffic,
+            "all_slow_traffic": slow_traffic,
+        }
+    geomean = float(
+        np.exp(np.mean([np.log(cell["speedup"]) for cell in cells.values()]))
+    )
+    return {
+        "schema": 1,
+        "benchmark": "tiered-memory",
+        "fast_pages": int(fast_pages),
+        "footprint_bytes": int(footprint_bytes),
+        "accesses": int(accesses),
+        "seed": int(seed),
+        "repeats": int(repeats),
+        "config": {
+            "name": config.name,
+            "address_bits": config.address_bits,
+            "num_channels": config.num_channels,
+        },
+        "unix_time": time.time(),
+        "cells": cells,
+        "summary_speedup_geomean": {"smart": geomean},
     }
 
 

@@ -45,6 +45,7 @@ from repro.service.tenant import (
     TenantContext,
 )
 from repro.system.config import SystemConfig
+from repro.tier.stats import TierTraffic
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -90,6 +91,7 @@ class MachineResult:
     compute_ns: float
     profiling_seconds: float = 0.0
     backend_health: BackendHealth | None = None
+    tier_traffic: TierTraffic | None = None
 
     @property
     def time_ns(self) -> float:
@@ -168,6 +170,8 @@ class MachineResult:
         # plain runs.
         if self.backend_health is not None:
             data["backend_health"] = self.backend_health.to_dict()
+        if self.tier_traffic is not None:
+            data["tier_traffic"] = self.tier_traffic.to_dict()
         return data
 
     def to_json(self, **json_kwargs) -> str:
@@ -192,6 +196,10 @@ class MachineResult:
         # availability, retries) and varies with the host environment;
         # the deterministic content is the result itself.
         data.pop("backend_health", None)
+        # Tier traffic is likewise provenance (placement and swap
+        # accounting), not result content: the timing it influenced is
+        # already inside ``stats``.
+        data.pop("tier_traffic", None)
         return data
 
     @classmethod
@@ -228,6 +236,9 @@ class MachineResult:
         health = None
         if data.get("backend_health") is not None:
             health = BackendHealth.from_dict(data["backend_health"])
+        tier_traffic = None
+        if data.get("tier_traffic") is not None:
+            tier_traffic = TierTraffic.from_dict(data["tier_traffic"])
         return cls(
             workload=data["workload"],
             system=data["system"],
@@ -237,6 +248,7 @@ class MachineResult:
             compute_ns=float(data["compute_ns"]),
             profiling_seconds=float(data.get("profiling_seconds", 0.0)),
             backend_health=health,
+            tier_traffic=tier_traffic,
         )
 
 

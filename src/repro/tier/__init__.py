@@ -1,0 +1,41 @@
+"""Tiered heterogeneous memory: HBM fast tier + configurable slow tier.
+
+The package behind the ``"tiered"`` entry in the memory-backend
+registry: page-granular placement between a fast HBM tier (timing
+delegated to the fast/vector backends) and a latency/bandwidth-modeled
+slow tier, with pluggable swap policies driven by the online BFRV and
+activity signals, SDAM-aware chunk swaps (mapping reprogramming with
+rollback), and RAS-retired pages pinned to the slow tier.
+"""
+
+from repro.tier.backend import TieredBackend
+from repro.tier.campaign import TierCampaignResult, run_tier_campaign
+from repro.tier.config import SlowTierConfig, TierConfig
+from repro.tier.placement import TierPlacement
+from repro.tier.policies import (
+    FastSwap,
+    SlowSwap,
+    SmartSwap,
+    SwapPolicy,
+    available_policies,
+    create_policy,
+)
+from repro.tier.stats import TierTraffic
+from repro.tier.swapper import SDAMAwareSwapper
+
+__all__ = [
+    "FastSwap",
+    "SDAMAwareSwapper",
+    "SlowSwap",
+    "SlowTierConfig",
+    "SmartSwap",
+    "SwapPolicy",
+    "TierCampaignResult",
+    "TierConfig",
+    "TierPlacement",
+    "TierTraffic",
+    "TieredBackend",
+    "available_policies",
+    "create_policy",
+    "run_tier_campaign",
+]

@@ -1,0 +1,296 @@
+"""The ``"tiered"`` memory backend: fast HBM tier + slow tier.
+
+A :class:`TieredBackend` sits behind the same
+:class:`~repro.hbm.backend.MemoryBackend` protocol as the fast/vector/
+event tiers, but splits the decoded request stream page-by-page between
+a fast HBM device (timing delegated to an existing backend) and a
+latency/bandwidth-modeled slow tier.  Placement is re-planned every
+*wave* of accesses by a pluggable :mod:`~repro.tier.policies` swap
+policy driven by the online BFRV/activity signals, and accesses to
+non-resident pages pay a small translation cache.
+
+Two exactness properties anchor the design:
+
+* with ``fast_pages=None`` (unbounded fast capacity, the default) the
+  backend delegates the *entire* stream untouched, so its
+  :class:`~repro.hbm.stats.RunStats` are bit-identical to the delegate
+  backend's — tiering is strictly additive;
+* the wave split buffers the stream first, so chunked and whole-trace
+  simulation agree for every chunk size, like every other backend.
+
+Per-run accounting lands in :attr:`TieredBackend.last_traffic`
+(a :class:`~repro.tier.stats.TierTraffic`), which rides on
+:class:`~repro.system.machine.MachineResult` outside the fingerprint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.hbm.backend import create_backend
+from repro.hbm.config import HBMConfig
+from repro.hbm.decode import DecodedTrace, concat_decoded, decode_trace
+from repro.hbm.stats import RunStats
+from repro.tier.config import SlowTierConfig, TierConfig
+from repro.tier.placement import TierPlacement
+from repro.tier.policies import SwapPolicy, create_policy
+from repro.tier.stats import TierTraffic
+
+__all__ = ["TieredBackend"]
+
+
+class _TranslationCache:
+    """A small LRU of pages whose placement differs from the default.
+
+    Resident-by-default pages translate for free; only remapped or
+    slow-tier pages need an entry, so an all-fast run never touches the
+    cache (cost exactly zero — the parity property depends on it).
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: dict[int, None] = {}
+
+    def probe(self, page: int) -> bool:
+        """True on hit; misses insert the page (evicting the LRU)."""
+        if page in self._entries:
+            self._entries.pop(page)
+            self._entries[page] = None
+            return True
+        if self.capacity > 0:
+            if len(self._entries) >= self.capacity:
+                oldest = next(iter(self._entries))
+                self._entries.pop(oldest)
+            self._entries[page] = None
+        return False
+
+
+class TieredBackend:
+    """Fast tier + slow tier behind the MemoryBackend protocol.
+
+    ``delegate`` names the backend that times the fast tier (``"fast"``
+    or ``"vector"``); ``policy`` names the swap policy; the remaining
+    keywords override individual :class:`~repro.tier.config.TierConfig`
+    fields (``fast_pages=0`` is the all-slow baseline).
+    """
+
+    def __init__(
+        self,
+        config: HBMConfig,
+        max_inflight: int = 64,
+        tier: TierConfig | None = None,
+        delegate: str = "fast",
+        policy: str = "smart",
+        fast_pages: int | None = None,
+        wave_accesses: int | None = None,
+        swap_budget: int | None = None,
+        trans_cache_pages: int | None = None,
+        slow: SlowTierConfig | None = None,
+        on_wave=None,
+        **delegate_options,
+    ):
+        if delegate == "tiered":
+            raise ConfigError("the tiered backend cannot delegate to itself")
+        tier = tier or TierConfig()
+        overrides = {
+            "fast_pages": fast_pages,
+            "wave_accesses": wave_accesses,
+            "swap_budget": swap_budget,
+            "trans_cache_pages": trans_cache_pages,
+            "slow": slow,
+        }
+        overrides = {k: v for k, v in overrides.items() if v is not None}
+        if overrides:
+            tier = dataclasses.replace(tier, **overrides)
+        if tier.page_bits < config.line_bits:
+            raise ConfigError("pages must be at least one cache line")
+        self.config = config
+        self.tier = tier
+        self.delegate_name = delegate
+        self.delegate = create_backend(
+            delegate, config, max_inflight=max_inflight, **delegate_options
+        )
+        self.placement = TierPlacement(tier.fast_pages)
+        self.policy: SwapPolicy = create_policy(
+            policy, tier, line_bits=config.line_bits
+        )
+        self.on_wave = on_wave
+        self.last_traffic = TierTraffic()
+        self._trans = _TranslationCache(tier.trans_cache_pages)
+        self._migrated: set[int] = set()
+        layout = config.layout()
+        self._shifts = {
+            name: layout[name].shift
+            for name in ("channel", "column", "bank", "row")
+        }
+
+    # -- RAS fallback --------------------------------------------------------
+    def retire_page(self, page: int) -> None:
+        """Pin a RAS-retired page to the slow tier.
+
+        The fast tier keeps its full capacity — retirement costs slow
+        capacity, never fast — and the page can never be promoted.
+        """
+        if self.placement.pin_slow(int(page)):
+            self.last_traffic.retired_pins += 1
+            self._migrated.add(int(page))
+
+    # -- helpers -------------------------------------------------------------
+    def _pages_of(self, decoded: DecodedTrace) -> tuple[np.ndarray, np.ndarray]:
+        """Reconstruct HAs + page ids from decoded device coordinates."""
+        s = self._shifts
+        ha = (
+            (decoded.channel.astype(np.uint64) << np.uint64(s["channel"]))
+            | (decoded.column.astype(np.uint64) << np.uint64(s["column"]))
+            | (decoded.bank.astype(np.uint64) << np.uint64(s["bank"]))
+            | (decoded.row.astype(np.uint64) << np.uint64(s["row"]))
+        )
+        pages = (ha >> np.uint64(self.tier.page_bits)).astype(np.int64)
+        return ha, pages
+
+    def _swap_cost_ns(self) -> float:
+        """Cost of moving one page between tiers (read + write)."""
+        lines = self.tier.page_bytes // self.config.line_bytes
+        return lines * (
+            self.tier.slow.t_access_ns / self.tier.slow.channels
+            + self.config.effective_t_burst_ns
+        )
+
+    def _apply_swaps(self, traffic: TierTraffic) -> None:
+        """Plan with the policy, migrate through the placement map."""
+        promote = self.policy.plan(self.placement, self.tier.swap_budget)
+        moved = set(promote)
+        cost = self._swap_cost_ns()
+        for page in promote:
+            free = self.placement.fast_free
+            if free is not None and free <= 0:
+                victim = self.policy.pick_victim(self.placement, moved)
+                if victim is None:
+                    break
+                self.placement.demote(victim)
+                self._migrated.add(victim)
+                moved.add(victim)
+                traffic.demotions += 1
+                traffic.swap_bytes += 2 * self.tier.page_bytes
+                traffic.swap_ns += cost
+            self.placement.promote(page)
+            self._migrated.add(page)
+            traffic.promotions += 1
+            traffic.swap_bytes += 2 * self.tier.page_bytes
+            traffic.swap_ns += cost
+
+    def _charge_translation(
+        self, wave_pages: list[int], traffic: TierTraffic
+    ) -> None:
+        """Probe the translation cache for every non-default page."""
+        for page in wave_pages:
+            if page not in self.placement.slow and page not in self._migrated:
+                continue
+            traffic.trans_lookups += 1
+            if self._trans.probe(page):
+                traffic.trans_hits += 1
+            else:
+                traffic.trans_misses += 1
+                traffic.trans_ns += self.tier.trans_miss_ns
+
+    # -- MemoryBackend protocol ----------------------------------------------
+    def simulate(self, ha) -> RunStats:
+        """Run a hardware-address trace (decodes, then simulates)."""
+        return self.simulate_decoded(decode_trace(ha, self.config))
+
+    def simulate_decoded(self, decoded, forced_miss=None) -> RunStats:
+        """Run a decoded stream through the fast/slow split."""
+        traffic = TierTraffic()
+        self.last_traffic = traffic
+        if self.tier.fast_pages is None:
+            # Slow tier disabled: delegate the stream untouched so the
+            # result is bit-identical to the delegate backend's.
+            stats = self.delegate.simulate_decoded(
+                decoded, forced_miss=forced_miss
+            )
+            traffic.fast_accesses = stats.requests
+            return stats
+        if forced_miss is not None and not isinstance(decoded, DecodedTrace):
+            raise SimulationError(
+                "forced_miss requires a whole DecodedTrace, not chunks"
+            )
+        full = (
+            decoded
+            if isinstance(decoded, DecodedTrace)
+            else concat_decoded(list(decoded))
+        )
+        n = len(full)
+        ha, pages = self._pages_of(full)
+        fast_mask = np.ones(n, dtype=bool)
+        wave = self.tier.wave_accesses
+        for index, start in enumerate(range(0, n, wave)):
+            sl = slice(start, min(start + wave, n))
+            wave_pages = pages[sl]
+            _, first = np.unique(wave_pages, return_index=True)
+            touched = [int(p) for p in wave_pages[np.sort(first)]]
+            for page in touched:
+                self.placement.admit(page)
+            self.policy.observe(ha[sl], wave_pages)
+            if self.placement.slow:
+                slow_now = np.fromiter(
+                    self.placement.slow, dtype=np.int64,
+                    count=len(self.placement.slow),
+                )
+                fast_mask[sl] = ~np.isin(wave_pages, slow_now)
+            self._charge_translation(touched, traffic)
+            self._apply_swaps(traffic)
+            traffic.swap_waves += 1
+            if self.on_wave is not None:
+                self.on_wave(index, self.placement, traffic)
+        fast_sub = DecodedTrace(
+            channel=full.channel[fast_mask],
+            bank=full.bank[fast_mask],
+            row=full.row[fast_mask],
+            column=full.column[fast_mask],
+            global_bank=full.global_bank[fast_mask],
+        )
+        fast_stats = self.delegate.simulate_decoded(
+            fast_sub,
+            forced_miss=(
+                forced_miss[fast_mask] if forced_miss is not None else None
+            ),
+        )
+        slow_count = int(n - len(fast_sub))
+        slow_busy = self.tier.slow.service_ns(slow_count)
+        traffic.fast_accesses = int(len(fast_sub))
+        traffic.slow_accesses = slow_count
+        traffic.slow_busy_ns = slow_busy
+        per_channel = fast_stats.per_channel_requests + np.bincount(
+            full.channel[~fast_mask], minlength=self.config.num_channels
+        ).astype(np.int64)
+        makespan = (
+            max(fast_stats.makespan_ns, slow_busy)
+            + traffic.swap_ns
+            + traffic.trans_ns
+        )
+        return RunStats(
+            requests=n,
+            bytes_moved=n * self.config.line_bytes,
+            makespan_ns=makespan,
+            row_hits=fast_stats.row_hits,
+            # The slow tier has no row buffer: every access is charged
+            # as a miss, keeping hits + misses == requests exactly.
+            row_misses=fast_stats.row_misses + slow_count,
+            num_channels=self.config.num_channels,
+            per_channel_requests=per_channel,
+            per_channel_busy_ns=fast_stats.per_channel_busy_ns.copy(),
+        )
+
+    def __repr__(self) -> str:
+        cap = (
+            "unbounded"
+            if self.tier.fast_pages is None
+            else f"{self.tier.fast_pages} pages"
+        )
+        return (
+            f"TieredBackend({self.delegate_name}+{self.tier.slow.name}, "
+            f"fast={cap}, policy={self.policy.name!r})"
+        )

@@ -1,0 +1,65 @@
+"""SDAM-aware swap: tier migration that also reprograms the mapping.
+
+Moving a chunk's pages between tiers changes their access pattern (a
+demoted region goes latency-bound, a promoted one becomes
+bandwidth-sensitive), so a tier swap is the natural moment to also
+reprogram the chunk's address mapping.  :class:`SDAMAwareSwapper` rides
+the existing :class:`~repro.mem.migration.ChunkMigrator` — including
+its mid-copy rollback guarantee: if the copy faults, the CMT entry is
+restored to the old mapping and the fault is recorded as a rollback,
+never a half-switched chunk.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.hbm.config import HBMConfig
+from repro.mem.kernel import Kernel
+from repro.mem.migration import ChunkMigrator, MigrationReport
+from repro.tier.stats import TierTraffic
+
+__all__ = ["SDAMAwareSwapper"]
+
+
+class SDAMAwareSwapper:
+    """Couples tier swaps with CMT reprogramming, with rollback."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        hbm: HBMConfig | None = None,
+        traffic: TierTraffic | None = None,
+    ):
+        self.kernel = kernel
+        self.migrator = ChunkMigrator(kernel, hbm=hbm)
+        self.traffic = traffic if traffic is not None else TierTraffic()
+
+    def mapping_index_of(self, chunk_no: int) -> int:
+        """The chunk's current hardware mapping index."""
+        return self.kernel.sdam.cmt.mapping_index_of(chunk_no)
+
+    def swap_chunk(
+        self,
+        chunk_no: int,
+        new_mapping_id: int,
+        on_copy=None,
+    ) -> MigrationReport:
+        """Reprogram a migrating chunk's mapping, accounting the cost.
+
+        Delegates to :meth:`~repro.mem.migration.ChunkMigrator.
+        migrate_chunk`; a mid-copy library fault rolls the CMT back
+        (verified by re-raising only after the rollback is counted in
+        :attr:`traffic`).
+        """
+        line_bytes = self.migrator.hbm.line_bytes
+        try:
+            report = self.migrator.migrate_chunk(
+                chunk_no, new_mapping_id, on_copy=on_copy
+            )
+        except (ReproError, OSError):
+            self.traffic.sdam_rollbacks += 1
+            raise
+        self.traffic.sdam_remaps += 1
+        self.traffic.swap_bytes += 2 * report.lines_copied * line_bytes
+        self.traffic.swap_ns += report.cost_ns
+        return report

@@ -30,6 +30,7 @@ from repro.workloads.synthetic import (
     MixedStrideWorkload,
     PhaseShiftWorkload,
     StridedCopyWorkload,
+    TieredPressureWorkload,
 )
 
 
@@ -64,6 +65,7 @@ __all__ = [
     "SPEC2006_TABLE1",
     "SSSPWorkload",
     "StridedCopyWorkload",
+    "TieredPressureWorkload",
     "VariableSpec",
     "Workload",
     "data_intensive_suite",

@@ -16,6 +16,7 @@ from repro.workloads.base import (
     LINE,
     VariableSpec,
     Workload,
+    hotspot_addresses,
     pointer_chase_addresses,
     record_addresses,
     stable_name_seed,
@@ -23,7 +24,12 @@ from repro.workloads.base import (
     tagged_trace,
 )
 
-__all__ = ["StridedCopyWorkload", "MixedStrideWorkload", "PhaseShiftWorkload"]
+__all__ = [
+    "StridedCopyWorkload",
+    "MixedStrideWorkload",
+    "PhaseShiftWorkload",
+    "TieredPressureWorkload",
+]
 
 
 class StridedCopyWorkload(Workload):
@@ -228,6 +234,75 @@ class PhaseShiftWorkload(Workload):
         return [tagged_trace(streams, interleave=False)]
 
 
+class TieredPressureWorkload(Workload):
+    """Capacity pressure with a tunable hot/cold skew (tiered memory).
+
+    One arena larger than the fast tier; ``hot_fraction`` of the
+    accesses land in a small hot region (``hot_bytes``), the rest are
+    uniform over the whole arena.  ``hot_fraction=0.9`` is the
+    hot/cold-skew scenario a placement policy should win (keep the hot
+    region fast); ``hot_fraction=0.0`` degenerates to pure capacity
+    pressure (uniform traffic over an oversized footprint), where the
+    right move is to *not* thrash.
+
+    ``cold_start`` prepends one reverse-order per-page sweep of the
+    arena (an initialisation pass, tail first).  First-touch placement
+    then captures the *end* of the arena, not the hot region at its
+    front — so a policy must actively promote the hot set to win, and
+    first-touch alone is no longer enough.
+    """
+
+    PAGE = 4096
+
+    def __init__(
+        self,
+        footprint_bytes: int = 4 * 1024 * 1024,
+        hot_bytes: int | None = None,
+        hot_fraction: float = 0.9,
+        accesses: int = 32768,
+        cold_start: bool = True,
+    ):
+        if footprint_bytes < LINE:
+            raise SimulationError("footprint smaller than a cache line")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise SimulationError("hot_fraction must be in [0, 1]")
+        if hot_bytes is None:
+            hot_bytes = max(footprint_bytes // 8, LINE)
+        if hot_bytes > footprint_bytes:
+            raise SimulationError("hot region larger than the footprint")
+        self.name = f"tiered-pressure-h{int(round(hot_fraction * 100))}"
+        self.footprint_bytes = footprint_bytes
+        self.hot_bytes = hot_bytes
+        self.hot_fraction = hot_fraction
+        self.accesses = accesses
+        self.cold_start = cold_start
+
+    def variables(self) -> list[VariableSpec]:
+        """Allocation sites, in stable order (index = variable id)."""
+        return [VariableSpec("arena", self.footprint_bytes)]
+
+    def trace(self, base: dict[str, int], input_seed: int = 0) -> list[AccessTrace]:
+        """One thread's skewed VA trace over the arena."""
+        rng = np.random.default_rng(
+            stable_name_seed(self.name) * 65536 + input_seed
+        )
+        addresses = hotspot_addresses(
+            base["arena"],
+            self.footprint_bytes,
+            self.accesses,
+            rng,
+            hot_fraction=self.hot_bytes / self.footprint_bytes,
+            hot_probability=self.hot_fraction,
+        )
+        if self.cold_start and self.footprint_bytes >= self.PAGE:
+            pages = self.footprint_bytes // self.PAGE
+            sweep = np.uint64(base["arena"]) + np.arange(
+                pages - 1, -1, -1, dtype=np.uint64
+            ) * np.uint64(self.PAGE)
+            addresses = np.concatenate([sweep, addresses])
+        return [tagged_trace([(addresses, 0, False)])]
+
+
 def max_stride_footprint(strides: tuple[int, ...], accesses: int) -> int:
     """Buffer size (bytes) that keeps every stride in-bounds unwrapped."""
     return max(strides) * accesses * LINE
@@ -238,4 +313,5 @@ SyntheticWorkloads = {
     "stride": StridedCopyWorkload,
     "mixed": MixedStrideWorkload,
     "phase-shift": PhaseShiftWorkload,
+    "tiered-pressure": TieredPressureWorkload,
 }

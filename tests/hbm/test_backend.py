@@ -31,6 +31,34 @@ class TestRegistry:
     def test_builtins_registered(self):
         assert "fast" in available_backends()
         assert "event" in available_backends()
+        assert "tiered" in available_backends()
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_backend("fast", WindowModel)
+        # The registry entry is untouched by the failed attempt.
+        backend = create_backend("fast", CONFIG, max_inflight=8)
+        assert isinstance(backend, WindowModel)
+
+    def test_replace_opt_in_overwrites(self):
+        def stub_factory(config, **kwargs):
+            return WindowModel(config, **kwargs)
+
+        register_backend("replace-test", stub_factory)
+        try:
+            with pytest.raises(ConfigError, match="already registered"):
+                register_backend("replace-test", WindowModel)
+            register_backend("replace-test", WindowModel, replace=True)
+            backend = create_backend("replace-test", CONFIG, max_inflight=8)
+            assert isinstance(backend, WindowModel)
+        finally:
+            backend_module._REGISTRY.pop("replace-test", None)
+
+    def test_register_builtins_idempotent(self):
+        before = available_backends()
+        backend_module._register_builtins()
+        backend_module._register_builtins()
+        assert available_backends() == before
 
     def test_create_fast(self):
         backend = create_backend("fast", CONFIG, max_inflight=64)

@@ -306,3 +306,119 @@ class TestServeSoakMode:
             json.loads(captured.out)["violations"]
             == ["injected accounting hole"]
         )
+
+
+class TestServeBackendFlag:
+    def test_selftest_backend_threads_through(self, capsys, monkeypatch):
+        import repro.service
+
+        seen = {}
+        real = repro.service.run_service_campaign
+
+        def spy(**kwargs):
+            seen.update(kwargs)
+            return real(
+                seed=kwargs["seed"],
+                tenants=kwargs["tenants"],
+                quick=kwargs["quick"],
+                controllers=False,
+                frontend_legs=False,
+                backend=kwargs["backend"],
+            )
+
+        monkeypatch.setattr(repro.service, "run_service_campaign", spy)
+        assert main(
+            ["serve", "--quick", "--tenants", "2", "--backend", "fast"]
+        ) == 0
+        assert seen["backend"] == "fast"
+        assert "ISOLATED" in capsys.readouterr().out
+
+    def test_soak_backend_reaches_tenant_specs(self, monkeypatch, capsys):
+        from repro.service import ServiceFrontend
+
+        admitted = []
+        real_admit = ServiceFrontend.admit
+
+        def spy(self, spec):
+            admitted.append(spec.backend)
+            return real_admit(self, spec)
+
+        monkeypatch.setattr(ServiceFrontend, "admit", spy)
+        assert main([
+            "serve", "--load", "1", "--duration", "0.1",
+            "--backend", "tiered",
+        ]) == 0
+        capsys.readouterr()
+        assert admitted == ["tiered"]
+
+
+class TestTierCommand:
+    def test_tier_quick_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "tier.json"
+        assert main(
+            ["tier", "--quick", "--out", str(out_path)]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "smart" in captured
+        assert "invariants: OK" in captured
+        data = json.loads(out_path.read_text())
+        assert data["ok"] is True
+        assert data["problems"] == []
+        for leg in ("skew", "pressure"):
+            assert data["speedups"][leg] > 1.0
+
+    def test_tier_json_single_policy(self, capsys):
+        assert main(
+            ["tier", "--quick", "--seed", "3", "--policy", "slow", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["seed"] == 3
+        assert data["policies"] == ["slow"]
+
+    def test_tier_rejects_quick_and_full(self):
+        with pytest.raises(SystemExit):
+            main(["tier", "--quick", "--full"])
+
+    def test_tier_interrupt_exits_3(self, capsys, monkeypatch):
+        import repro.tier.campaign
+
+        def interrupted(**kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            repro.tier.campaign, "run_tier_campaign", interrupted
+        )
+        assert main(["tier", "--quick"]) == 3
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestTierBench:
+    def test_bench_tier_writes_report(self, capsys, tmp_path):
+        out_path = tmp_path / "bench_tier.json"
+        code = main(
+            [
+                "bench",
+                "--tier",
+                "--repeats",
+                "1",
+                "--out",
+                str(out_path),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "smart-tiered" in captured
+        report = json.loads(out_path.read_text())
+        assert report["benchmark"] == "tiered-memory"
+        assert "smart" in report["summary_speedup_geomean"]
+        assert set(report["cells"]) == {"skew", "pressure"}
+
+    def test_bench_tier_gate_failure_exits_1(self, capsys):
+        assert main(
+            ["bench", "--tier", "--repeats", "1", "--min-speedup", "1000"]
+        ) == 1
+        assert "below the" in capsys.readouterr().err
+
+    def test_bench_rejects_tier_and_online(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--tier", "--online"])

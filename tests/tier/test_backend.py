@@ -1,0 +1,244 @@
+"""The tiered backend: parity, pressure accounting, degenerate streams.
+
+The anchor property (the PR's acceptance bar): with the slow tier
+disabled — fast capacity covers the whole footprint, the default
+``TierConfig`` — a tiered machine's results fingerprint bit-identically
+to the delegate fast-tier backend on every system family.  Under
+pressure, the split must still conserve the exact ``RunStats``
+invariants every backend obeys (requests = hits + misses, per-channel
+counts sum to requests), and degenerate streams (empty trace,
+zero-length chunks, single request) must flow through every policy.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import ConfigError, SimulationError
+from repro.hbm.backend import create_backend
+from repro.hbm.decode import decode_trace
+from repro.hbm.guard import GuardedBackend, TierFactory
+from repro.hbm import hbm2_config
+from repro.system.config import system_by_key
+from repro.system.machine import Machine
+from repro.tier.backend import TieredBackend
+from repro.tier.policies import available_policies
+
+CONFIG = hbm2_config()
+SYSTEMS = ("bs_dm", "bs_bsm", "bs_hm", "sdm_bsm", "sdm_bsm_ml4", "sdm_bsm_ml32")
+
+
+def _trace(n: int, seed: int = 0, span_bytes: int = 8 * 1024 * 1024):
+    rng = np.random.default_rng(seed)
+    lines = span_bytes // CONFIG.line_bytes
+    return rng.integers(0, lines, n, dtype=np.uint64) * np.uint64(
+        CONFIG.line_bytes
+    )
+
+
+def _assert_stats_equal(a, b):
+    assert a.requests == b.requests
+    assert a.bytes_moved == b.bytes_moved
+    assert a.makespan_ns == b.makespan_ns
+    assert a.row_hits == b.row_hits
+    assert a.row_misses == b.row_misses
+    np.testing.assert_array_equal(
+        a.per_channel_requests, b.per_channel_requests
+    )
+    np.testing.assert_array_equal(
+        a.per_channel_busy_ns, b.per_channel_busy_ns
+    )
+
+
+class TestDelegateParity:
+    @pytest.mark.parametrize("key", SYSTEMS)
+    def test_fingerprint_identical_when_slow_tier_disabled(self, key):
+        workload = api.mixed_stride_workload()
+        fast = Machine(
+            system_by_key(key), backend="fast", dl_config=api.QUICK_DL_CONFIG
+        ).run(workload)
+        tiered = Machine(
+            system_by_key(key), backend="tiered", dl_config=api.QUICK_DL_CONFIG
+        ).run(workload)
+        assert json.dumps(
+            tiered.fingerprint(), sort_keys=True
+        ) == json.dumps(fast.fingerprint(), sort_keys=True)
+        # The tiered run additionally carries its traffic record —
+        # outside the fingerprint, all-fast, zero overhead.
+        assert tiered.tier_traffic is not None
+        assert tiered.tier_traffic.slow_accesses == 0
+        assert tiered.tier_traffic.overhead_ns == 0.0
+        assert fast.tier_traffic is None
+
+    def test_raw_stats_identical_with_forced_miss(self):
+        ha = _trace(4096, seed=3)
+        decoded = decode_trace(ha, CONFIG)
+        forced = np.zeros(len(decoded), dtype=bool)
+        forced[::7] = True
+        fast = create_backend("fast", CONFIG, max_inflight=32)
+        tiered = TieredBackend(CONFIG, max_inflight=32)
+        a = fast.simulate_decoded(decoded, forced_miss=forced)
+        b = tiered.simulate_decoded(decoded, forced_miss=forced)
+        _assert_stats_equal(a, b)
+
+
+class TestPressureAccounting:
+    def test_stats_invariants_under_pressure(self):
+        ha = _trace(8192, seed=1)
+        backend = TieredBackend(
+            CONFIG, policy="smart", fast_pages=32, wave_accesses=1024
+        )
+        stats = backend.simulate(ha)
+        traffic = backend.last_traffic
+        assert stats.requests == 8192
+        assert stats.row_hits + stats.row_misses == stats.requests
+        assert int(stats.per_channel_requests.sum()) == stats.requests
+        assert traffic.fast_accesses + traffic.slow_accesses == 8192
+        assert traffic.slow_accesses > 0
+        assert traffic.swap_waves == 8
+        assert backend.placement.check_invariants() == []
+
+    def test_chunked_equals_whole_trace(self):
+        ha = _trace(6144, seed=2)
+        whole = TieredBackend(
+            CONFIG, policy="smart", fast_pages=64, wave_accesses=512
+        ).simulate_decoded(decode_trace(ha, CONFIG))
+        pieces = [
+            decode_trace(chunk, CONFIG)
+            for chunk in np.array_split(ha, 5)
+        ]
+        chunked = TieredBackend(
+            CONFIG, policy="smart", fast_pages=64, wave_accesses=512
+        ).simulate_decoded(iter(pieces))
+        _assert_stats_equal(whole, chunked)
+
+    def test_all_slow_baseline_times_everything_slow(self):
+        ha = _trace(2048, seed=4)
+        backend = TieredBackend(CONFIG, policy="slow", fast_pages=0)
+        stats = backend.simulate(ha)
+        traffic = backend.last_traffic
+        assert traffic.fast_accesses == 0
+        assert traffic.slow_accesses == 2048
+        assert stats.row_hits == 0
+        assert stats.row_misses == 2048
+        assert stats.makespan_ns >= backend.tier.slow.service_ns(2048)
+
+    def test_forced_miss_rejected_for_chunks_under_pressure(self):
+        ha = _trace(1024)
+        pieces = [decode_trace(chunk, CONFIG) for chunk in np.array_split(ha, 2)]
+        backend = TieredBackend(CONFIG, fast_pages=16)
+        with pytest.raises(SimulationError, match="whole DecodedTrace"):
+            backend.simulate_decoded(
+                iter(pieces), forced_miss=np.zeros(1024, dtype=bool)
+            )
+
+
+class TestDegenerateStreams:
+    @pytest.mark.parametrize("policy", available_policies())
+    def test_empty_trace(self, policy):
+        backend = TieredBackend(
+            CONFIG, policy=policy, fast_pages=8, wave_accesses=64
+        )
+        stats = backend.simulate(np.zeros(0, dtype=np.uint64))
+        assert stats.requests == 0
+        assert stats.makespan_ns == 0.0
+        assert backend.last_traffic.accesses == 0
+
+    @pytest.mark.parametrize("policy", available_policies())
+    def test_zero_length_chunks(self, policy):
+        empty = decode_trace(np.zeros(0, dtype=np.uint64), CONFIG)
+        data = decode_trace(_trace(256, seed=6), CONFIG)
+        backend = TieredBackend(
+            CONFIG, policy=policy, fast_pages=8, wave_accesses=64
+        )
+        stats = backend.simulate_decoded(iter([empty, data, empty]))
+        assert stats.requests == 256
+        assert stats.row_hits + stats.row_misses == 256
+
+    @pytest.mark.parametrize("policy", available_policies())
+    def test_single_request(self, policy):
+        backend = TieredBackend(
+            CONFIG, policy=policy, fast_pages=1, wave_accesses=64
+        )
+        stats = backend.simulate(
+            np.array([CONFIG.line_bytes * 17], dtype=np.uint64)
+        )
+        assert stats.requests == 1
+        assert backend.last_traffic.fast_accesses == 1
+        assert backend.placement.check_invariants() == []
+
+    @pytest.mark.parametrize("policy", available_policies())
+    def test_empty_chunk_list(self, policy):
+        backend = TieredBackend(
+            CONFIG, policy=policy, fast_pages=8, wave_accesses=64
+        )
+        stats = backend.simulate_decoded(iter([]))
+        assert stats.requests == 0
+
+
+class TestRetirement:
+    def test_retired_page_pinned_and_never_promoted(self):
+        backend = TieredBackend(
+            CONFIG, policy="smart", fast_pages=4, wave_accesses=128
+        )
+        backend.retire_page(5)
+        assert backend.last_traffic.retired_pins == 1
+        assert backend.placement.tier_of(5) == "slow"
+        # Hammer the retired page: hot, but it must stay slow.
+        page_bytes = backend.tier.page_bytes
+        ha = np.full(1024, 5 * page_bytes, dtype=np.uint64)
+        backend.simulate(ha)
+        assert backend.placement.tier_of(5) == "slow"
+        assert backend.placement.is_pinned(5)
+        assert backend.last_traffic.slow_accesses == 1024
+
+    def test_retire_fast_page_demotes_without_shrinking_capacity(self):
+        backend = TieredBackend(CONFIG, fast_pages=4, wave_accesses=64)
+        backend.placement.admit(1)
+        assert backend.placement.tier_of(1) == "fast"
+        backend.retire_page(1)
+        assert backend.placement.tier_of(1) == "slow"
+        assert backend.placement.fast_capacity == 4
+
+
+class TestConstruction:
+    def test_self_delegation_rejected(self):
+        with pytest.raises(ConfigError, match="cannot delegate to itself"):
+            TieredBackend(CONFIG, delegate="tiered")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown swap policy"):
+            TieredBackend(CONFIG, policy="telepathic")
+
+    def test_registry_construction(self):
+        backend = create_backend(
+            "tiered", CONFIG, max_inflight=16, fast_pages=8
+        )
+        assert isinstance(backend, TieredBackend)
+        assert backend.tier.fast_pages == 8
+
+
+class TestGuardForwarding:
+    def test_guard_forwards_last_traffic(self):
+        guarded = GuardedBackend(
+            TieredBackend(CONFIG, fast_pages=16, wave_accesses=256),
+            primary_factory=TierFactory(
+                "tiered", CONFIG, max_inflight=64, fast_pages=16,
+                wave_accesses=256,
+            ),
+            reference_factory=TierFactory(
+                "tiered", CONFIG, max_inflight=64, fast_pages=16,
+                wave_accesses=256, delegate="event",
+            ),
+            primary_name="tiered",
+            reference_name="tiered:event",
+            sample=0.01,
+        )
+        assert guarded.last_traffic is None or (
+            guarded.last_traffic.accesses == 0
+        )
+        guarded.simulate(_trace(512, seed=8))
+        assert guarded.last_traffic is not None
+        assert guarded.last_traffic.accesses == 512

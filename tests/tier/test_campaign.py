@@ -1,0 +1,110 @@
+"""The tiered-memory campaign: gates, invariants, side legs."""
+
+import numpy as np
+import pytest
+
+from repro.core.chunks import ChunkGeometry, MiB
+from repro.core.sdam import SDAMController
+from repro.errors import ConfigError, SimulationError
+from repro.mem.kernel import Kernel
+from repro.mem.malloc import MappingAwareAllocator
+from repro.tier.campaign import run_tier_campaign
+from repro.tier.swapper import SDAMAwareSwapper
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return run_tier_campaign(seed=0, quick=True)
+
+
+class TestCampaign:
+    def test_quick_campaign_is_clean(self, quick_result):
+        assert quick_result.problems == []
+        assert quick_result.ok
+
+    def test_smart_strictly_beats_all_slow(self, quick_result):
+        for leg in ("skew", "pressure"):
+            assert (
+                quick_result.legs[leg]["smart"]
+                < quick_result.baseline_ns[leg]
+            )
+            assert quick_result.speedup(leg) > 1.0
+
+    def test_all_policies_evaluated(self, quick_result):
+        for leg in ("skew", "pressure"):
+            assert set(quick_result.legs[leg]) == {"fast", "slow", "smart"}
+            assert "all-slow" in quick_result.traffic[leg]
+
+    def test_smart_promotes_on_skew_not_on_pressure(self, quick_result):
+        assert quick_result.traffic["skew"]["smart"]["promotions"] > 0
+        assert quick_result.traffic["pressure"]["smart"]["promotions"] == 0
+
+    def test_sdam_leg_rolled_back_then_remapped(self, quick_result):
+        assert quick_result.sdam["rollback_ok"]
+        assert quick_result.sdam["rollbacks"] == 1
+        assert quick_result.sdam["remaps"] == 1
+        assert quick_result.sdam["lines_copied"] > 0
+
+    def test_ras_leg_pins_without_shrinking_fast(self, quick_result):
+        assert quick_result.ras["retired"] == 4
+        assert quick_result.ras["capacity_ok"]
+        assert quick_result.ras["never_promoted"]
+
+    def test_fingerprint_deterministic(self, quick_result):
+        again = run_tier_campaign(seed=0, quick=True)
+        assert again.fingerprint() == quick_result.fingerprint()
+
+    def test_single_policy_restriction(self):
+        result = run_tier_campaign(seed=0, quick=True, policy="slow")
+        assert result.policies == ["slow"]
+        for leg in result.legs.values():
+            assert set(leg) == {"slow"}
+        # No smart run -> no speed gate; invariants still checked.
+        assert result.ok
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError, match="unknown swap policy"):
+            run_tier_campaign(policy="telepathic")
+
+
+class TestSwapper:
+    def _stack(self):
+        geometry = ChunkGeometry(total_bytes=32 * MiB)
+        kernel = Kernel(geometry, sdam=SDAMController(geometry))
+        space = kernel.spawn()
+        malloc = MappingAwareAllocator(kernel, space)
+        swapper = SDAMAwareSwapper(kernel)
+        mapping = malloc.add_addr_map(
+            np.roll(np.arange(geometry.window_bits), 3)
+        )
+        va = malloc.malloc(1 * MiB, mapping_id=0, tag="data")
+        touch = np.arange(
+            va, va + 1 * MiB, geometry.page_bytes, dtype=np.uint64
+        )
+        space.translate_trace(touch)
+        chunk_no = geometry.chunk_number(space.translate(va))
+        return swapper, chunk_no, mapping
+
+    def test_clean_swap_accounts_traffic(self):
+        swapper, chunk_no, mapping = self._stack()
+        report = swapper.swap_chunk(chunk_no, mapping)
+        assert swapper.mapping_index_of(chunk_no) == mapping
+        assert swapper.traffic.sdam_remaps == 1
+        assert swapper.traffic.sdam_rollbacks == 0
+        assert swapper.traffic.swap_bytes == (
+            2 * report.lines_copied * swapper.migrator.hbm.line_bytes
+        )
+        assert swapper.traffic.swap_ns == report.cost_ns
+
+    def test_mid_copy_fault_rolls_back_cmt(self):
+        swapper, chunk_no, mapping = self._stack()
+        before = swapper.mapping_index_of(chunk_no)
+
+        def exploding(_lines, _reads, _writes):
+            raise SimulationError("device fault mid-copy")
+
+        with pytest.raises(SimulationError):
+            swapper.swap_chunk(chunk_no, mapping, on_copy=exploding)
+        assert swapper.mapping_index_of(chunk_no) == before
+        assert swapper.traffic.sdam_rollbacks == 1
+        assert swapper.traffic.sdam_remaps == 0

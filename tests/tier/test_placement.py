@@ -1,0 +1,118 @@
+"""Conservation properties of the tier placement map.
+
+The acceptance property: after an *arbitrary* sequence of admissions,
+promotions, demotions, and RAS retirements, every admitted page lives
+in exactly one tier, the fast tier respects its capacity, and retired
+pages are pinned slow.  Operations that would violate an invariant
+raise instead of corrupting the map, so the property is driven with
+op sequences that include illegal requests and asserts the invariants
+survive the rejections.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.tier.placement import TierPlacement
+
+pages = st.integers(min_value=0, max_value=63)
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["admit", "promote", "demote", "retire"]), pages
+    ),
+    max_size=200,
+)
+
+
+class TestProperties:
+    @given(
+        ops, st.one_of(st.none(), st.integers(min_value=0, max_value=16))
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_page_in_exactly_one_tier(self, sequence, capacity):
+        placement = TierPlacement(capacity)
+        touched = set()
+        for op, page in sequence:
+            touched.add(page)
+            try:
+                if op == "admit":
+                    placement.admit(page)
+                elif op == "promote":
+                    placement.promote(page)
+                elif op == "demote":
+                    placement.demote(page)
+                else:
+                    placement.pin_slow(page)
+            except SimulationError:
+                pass  # Illegal transition rejected; map must stay whole.
+            assert placement.check_invariants() == []
+        # Retire ops admit straight to slow, so known <= touched always.
+        assert placement.known <= touched
+        assert placement.fast.isdisjoint(placement.slow)
+        assert placement.pinned <= placement.slow
+
+    @given(ops)
+    @settings(max_examples=50, deadline=None)
+    def test_admit_is_total_and_conserving(self, sequence):
+        placement = TierPlacement(8)
+        admitted = set()
+        for _op, page in sequence:
+            placement.admit(page)
+            admitted.add(page)
+            assert placement.check_invariants(expected=admitted) == []
+        assert placement.known == admitted
+
+
+class TestTransitions:
+    def test_admit_fast_until_full_then_slow(self):
+        placement = TierPlacement(2)
+        assert placement.admit(1) == "fast"
+        assert placement.admit(2) == "fast"
+        assert placement.admit(3) == "slow"
+        assert placement.admit(1) == "fast"  # idempotent
+
+    def test_unbounded_always_fast(self):
+        placement = TierPlacement(None)
+        for page in range(100):
+            assert placement.admit(page) == "fast"
+        assert placement.fast_free is None
+        assert not placement.slow
+
+    def test_promote_requires_room(self):
+        placement = TierPlacement(1)
+        placement.admit(1)
+        placement.admit(2)
+        with pytest.raises(SimulationError, match="fast tier full"):
+            placement.promote(2)
+        placement.demote(1)
+        placement.promote(2)
+        assert placement.tier_of(2) == "fast"
+        assert placement.tier_of(1) == "slow"
+
+    def test_pinned_page_cannot_be_promoted(self):
+        placement = TierPlacement(4)
+        placement.admit(7)
+        assert placement.pin_slow(7) is True
+        assert placement.pin_slow(7) is False
+        assert placement.tier_of(7) == "slow"
+        with pytest.raises(SimulationError, match="retired"):
+            placement.promote(7)
+
+    def test_retire_unknown_page_lands_slow(self):
+        placement = TierPlacement(4)
+        assert placement.pin_slow(9) is True
+        assert placement.tier_of(9) == "slow"
+        assert placement.is_pinned(9)
+
+    def test_lost_and_invented_pages_reported(self):
+        placement = TierPlacement(4)
+        placement.admit(1)
+        problems = placement.check_invariants(expected={1, 2})
+        assert any("lost" in p for p in problems)
+        problems = placement.check_invariants(expected=set())
+        assert any("invented" in p for p in problems)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            TierPlacement(-1)
